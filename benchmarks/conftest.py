@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs a whole verification task once (``pedantic`` with one
+round): the measured quantity is the end-to-end checking time the paper's
+tables report, not a micro-operation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.configs import scale_by_name
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Budget profile (override with REPRO_BENCH_SCALE=paper)."""
+    return scale_by_name(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+
+
+def run_once(benchmark, fn):
+    """Measure one full verification run."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Ablation: phase-2 fetch gating is behaviour-preserving and cheaper."""
+
+from __future__ import annotations
+
+from repro.bench import ablation
+
+
+def test_fetch_gating_preserves_verdicts_and_bounds_state(benchmark, scale):
+    results = benchmark.pedantic(ablation.run, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(ablation.format_rows(results))
+    drain_heavy = results[-1]
+    for result in results:
+        assert result.gated.kind == result.ungated.kind, result.workload
+        if result.gated.attacked:
+            # Both configurations synthesize a real attack; programs may
+            # differ, but each must replay to the assertion (covered by the
+            # replay test-suite), and gating must not lose the attack.
+            assert result.ungated.attacked
+        else:
+            # On proof workloads the gate may only shrink the search.
+            assert result.gated.stats.states <= result.ungated.stats.states
+            assert (
+                result.gated.stats.transitions
+                <= result.ungated.stats.transitions
+            )
+    # The drain-heavy workload must actually demonstrate the savings.
+    assert (
+        drain_heavy.gated.stats.transitions
+        < drain_heavy.ungated.stats.transitions
+    )

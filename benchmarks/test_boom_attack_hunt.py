@@ -1,0 +1,82 @@
+"""§7.1.4: iterative attack enumeration on BoomLike, vs UPEC's blind spot.
+
+Asserted shape:
+
+- the full model yields attacks from at least two distinct mis-speculation
+  sources, including an exception source (misaligned or illegal) that a
+  branch-only UPEC declaration cannot represent;
+- UPEC's restricted model (no speculative exceptions) finds a branch
+  attack but, with branch misprediction excluded, finds none of the
+  exception attacks the full model still contains.
+"""
+
+from __future__ import annotations
+
+from repro.bench import boom_hunt
+from repro.bench.configs import BOOM_PARAMS, SPACE_BOOM
+from repro.core.assumptions import no_mispredicted_branches
+from repro.core.contracts import sandboxing
+from repro.core.upec import upec_verify
+from repro.core.verifier import VerificationTask, verify
+from repro.mc.explorer import SearchLimits
+from repro.uarch.boom import boom
+
+
+def test_attack_enumeration_finds_exception_sources(benchmark, scale):
+    steps = benchmark.pedantic(
+        boom_hunt.run, args=(sandboxing(), scale), rounds=1, iterations=1
+    )
+    print()
+    print(boom_hunt.format_rows("sandboxing", steps))
+    sources = {step.source for step in steps if step.source}
+    assert len(sources) >= 2
+    assert sources & {"misaligned", "illegal"}  # beyond UPEC's declaration
+
+
+def test_upec_finds_branch_attacks_but_misses_exception_attacks(benchmark, scale):
+    def compare():
+        upec = upec_verify(
+            lambda: boom(params=BOOM_PARAMS),
+            sandboxing(),
+            SPACE_BOOM,
+            sources=("branch",),
+            limits=SearchLimits(timeout_s=scale.attack_timeout),
+            secret_mode="single",
+        )
+        # Exclude branch misprediction: the full model still leaks through
+        # the exception sources; UPEC's restricted model sees nothing.
+        exclusion = (no_mispredicted_branches(),)
+        ours = verify(
+            VerificationTask(
+                core_factory=lambda: boom(params=BOOM_PARAMS),
+                contract=sandboxing(),
+                space=SPACE_BOOM,
+                secret_mode="single",
+                assumptions=exclusion,
+                limits=SearchLimits(timeout_s=scale.dom_timeout),
+            )
+        )
+        upec_restricted = verify(
+            VerificationTask(
+                core_factory=lambda: boom(
+                    params=BOOM_PARAMS, speculative_exceptions=False
+                ),
+                contract=sandboxing(),
+                space=SPACE_BOOM,
+                secret_mode="single",
+                assumptions=exclusion,
+                limits=SearchLimits(timeout_s=scale.dom_timeout),
+            )
+        )
+        return upec, ours, upec_restricted
+
+    upec, ours, upec_restricted = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print()
+    print("UPEC (branch declared):", upec.summary())
+    print("ours, mispredict excluded:", ours.summary())
+    print("UPEC model, mispredict excluded:", upec_restricted.summary())
+    assert upec.attacked
+    assert ours.attacked
+    assert not upec_restricted.attacked

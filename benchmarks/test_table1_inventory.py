@@ -1,0 +1,15 @@
+"""Table 1: processor inventory and (shared) shadow-logic size."""
+
+from __future__ import annotations
+
+from repro.bench import table1
+
+
+def test_table1_inventory(benchmark):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print()
+    print(table1.format_rows(rows))
+    names = {row.name for row in rows}
+    assert {"Sodor-like", "SimpleOoO", "Ridecore-like", "BoomLike"} <= names
+    shadow_locs = {row.shadow_loc for row in rows if row.shadow_loc}
+    assert len(shadow_locs) == 1  # one shadow-logic module serves every core

@@ -1,0 +1,48 @@
+"""Table 2: Baseline vs LEAVE vs UPEC vs Contract Shadow Logic.
+
+Asserted shape (sandboxing contract):
+
+- our scheme: proofs on the two secure designs, attacks on the three
+  insecure ones -- the paper's headline row;
+- LEAVE: proof on the in-order core, UNKNOWN on both SimpleOoO variants
+  (§7.1.3);
+- UPEC: finds *an* attack on BOOM under its branch-only declaration
+  (§7.1.4 shows it cannot find the exception attacks -- covered by
+  ``test_boom_attack_hunt``);
+- baseline: agrees on attacks; its proof cells are reported but not
+  asserted (divergence D1: explicit-state search does not reproduce the
+  symbolic baseline timeouts; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench import table2
+
+
+def test_table2_comparison(benchmark, scale):
+    results = benchmark.pedantic(
+        table2.run, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(table2.format_rows(results))
+
+    ours = results["shadow"]
+    assert ours["Sodor"].proved
+    assert ours["SimpleOoO-S"].proved
+    assert ours["SimpleOoO"].attacked
+    assert ours["Ridecore"].attacked
+    assert ours["BOOM"].attacked
+
+    leave = results["leave"]
+    assert leave["Sodor"].proved
+    assert leave["SimpleOoO"].kind == "unknown"
+    assert leave["SimpleOoO-S"].kind == "unknown"
+
+    assert results["upec"]["BOOM"].attacked
+
+    baseline = results["baseline"]
+    for design in ("SimpleOoO", "Ridecore", "BOOM"):
+        assert baseline[design].attacked
+    # Secure designs: the baseline must never find a (spurious) attack.
+    for design in ("Sodor", "SimpleOoO-S"):
+        assert not baseline[design].attacked

@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools predates PEP 660 editable wheels (and in
+offline environments that cannot fetch a build backend).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Contract Shadow Logic: RTL-style verification of secure "
+        "speculation, reproduced in Python"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,99 @@
+"""Contract Shadow Logic -- secure-speculation verification, in Python.
+
+A from-scratch reproduction of *"RTL Verification for Secure Speculation
+Using Contract Shadow Logic"* (Tan, Yang, Bourgeat, Malik, Yan -- ASPLOS
+2025): the processors, the software-hardware contracts, the two-phase
+shadow logic, an explicit-state model checker playing JasperGold's role,
+the four-machine baseline scheme, and LEAVE-style / UPEC-style comparison
+verifiers -- plus the benchmark harness regenerating every table and
+figure of the paper's evaluation.
+
+Typical use::
+
+    from repro import (
+        Defense, MachineParams, SearchLimits, VerificationTask,
+        sandboxing, simple_ooo, space_tiny, verify,
+    )
+
+    task = VerificationTask(
+        core_factory=lambda: simple_ooo(Defense.NONE,
+                                        params=MachineParams(imem_size=3)),
+        contract=sandboxing(),
+        space=space_tiny(),
+        limits=SearchLimits(timeout_s=60),
+    )
+    outcome = verify(task)     # -> attack, with a replayable program
+    print(outcome.counterexample.describe())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core.contracts import Contract, constant_time, sandboxing
+from repro.core.shadow import ContractShadowLogic
+from repro.core.verifier import VerificationTask, verify
+from repro.events import CommitRecord, CycleOutput, FetchBundle
+from repro.isa.encoding import (
+    EncodingSpace,
+    space_boom,
+    space_dom,
+    space_mul,
+    space_small,
+    space_tiny,
+)
+from repro.isa.instruction import Instruction, Opcode
+from repro.isa.machine import IsaMachine
+from repro.isa.params import MachineParams
+from repro.isa.program import Program
+from repro.mc.explorer import Explorer, Root, SearchLimits
+from repro.mc.replay import format_trace, replay
+from repro.mc.result import Counterexample, Outcome
+from repro.uarch.boom import BoomLikeCore, boom, boom_params
+from repro.uarch.config import CacheConfig, CoreConfig, Defense
+from repro.uarch.inorder import InOrderCore
+from repro.uarch.simple_ooo import SimpleOoOCore, simple_ooo, simple_ooo_s
+from repro.uarch.superscalar import SuperscalarCore, ridecore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoomLikeCore",
+    "CacheConfig",
+    "CommitRecord",
+    "Contract",
+    "ContractShadowLogic",
+    "CoreConfig",
+    "Counterexample",
+    "CycleOutput",
+    "Defense",
+    "EncodingSpace",
+    "Explorer",
+    "FetchBundle",
+    "InOrderCore",
+    "Instruction",
+    "IsaMachine",
+    "MachineParams",
+    "Opcode",
+    "Outcome",
+    "Program",
+    "Root",
+    "SearchLimits",
+    "SimpleOoOCore",
+    "SuperscalarCore",
+    "VerificationTask",
+    "boom",
+    "boom_params",
+    "constant_time",
+    "format_trace",
+    "replay",
+    "ridecore",
+    "sandboxing",
+    "simple_ooo",
+    "simple_ooo_s",
+    "space_boom",
+    "space_dom",
+    "space_mul",
+    "space_small",
+    "space_tiny",
+    "verify",
+]

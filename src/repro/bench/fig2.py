@@ -1,0 +1,142 @@
+"""Figure 2: verification time vs. structure sizes (§7.3).
+
+Two panels: (a) prove NoFwd-futuristic under the sandboxing contract,
+(b) prove Delay-spectre under the constant-time contract.  Each panel
+sweeps one structure at a time around the default configuration (4-entry
+register file, data memory and ROB):
+
+- **register file**: expected negligible impact (paper) -- extra registers
+  only widen the state vector, they are not reachable by the encoding.
+- **data memory**: limited impact for sandboxing, larger for constant-time
+  (paper) -- more secret cells mean more quantifier roots.
+- **ROB**: dominant, superlinear impact (paper: exponential).  In an
+  explicit-state engine the path count plays the role of JasperGold's
+  state-bit count, so the sweep couples the symbolic-program depth to the
+  ROB capacity (a k-entry ROB is only exercised by >= k in-flight
+  instructions); divergence D3 in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.configs import Scale
+from repro.core.contracts import constant_time, sandboxing
+from repro.core.verifier import VerificationTask, verify
+from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
+from repro.mc.explorer import SearchLimits
+from repro.mc.result import Outcome
+from repro.uarch.config import Defense
+from repro.uarch.simple_ooo import simple_ooo
+
+#: Sweep points (the paper sweeps {2, 4, 8, 16}; the committed quick suite
+#: stops where a point would dominate the suite's budget -- recorded in
+#: EXPERIMENTS.md together with calibration-run numbers).
+REGFILE_SIZES = (2, 4, 8, 16)
+DMEM_SIZES = (2, 4, 8)
+ROB_SIZES = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One Fig. 2 panel: a defense/contract pair."""
+
+    key: str
+    defense: Defense
+    contract_factory: object
+    title: str
+
+
+PANELS = (
+    Panel("a", Defense.NOFWD_FUTURISTIC, sandboxing,
+          "(a) NoFwd-futuristic / sandboxing"),
+    Panel("b", Defense.DELAY_SPECTRE, constant_time,
+          "(b) Delay-spectre / constant-time"),
+)
+
+
+@dataclass
+class SweepResult:
+    """Outcome series for one structure sweep."""
+
+    structure: str
+    points: list[tuple[int, Outcome]] = field(default_factory=list)
+
+
+def _space(mem_size: int, rob_size: int) -> EncodingSpace:
+    """The minimal sweep universe (registers r0/r1, last-cell secret)."""
+    return EncodingSpace(
+        load_rd=(1,),
+        load_rs=(0, 1),
+        load_imm=(0, mem_size - 1),
+        branch_rs=(0,),
+        branch_off=(2,),
+    )
+
+
+def _params(n_regs: int = 4, mem_size: int = 4, imem_size: int = 3) -> MachineParams:
+    return MachineParams(
+        n_regs=n_regs,
+        mem_size=mem_size,
+        n_public=max(1, mem_size // 2),
+        value_bits=1,
+        imem_size=imem_size,
+    )
+
+
+def _imem_for_rob(rob_size: int) -> int:
+    """Symbolic-program depth needed to exercise a ROB of this size."""
+    return min(rob_size + 1, 6)
+
+
+def _run_point(panel: Panel, params, rob_size: int, scale: Scale) -> Outcome:
+    task = VerificationTask(
+        core_factory=lambda: simple_ooo(panel.defense, params=params, rob_size=rob_size),
+        contract=panel.contract_factory(),
+        space=_space(params.mem_size, rob_size),
+        secret_mode="single",
+        limits=SearchLimits(timeout_s=scale.proof_timeout),
+    )
+    return verify(task)
+
+
+def run_panel(panel: Panel, scale: Scale) -> dict[str, SweepResult]:
+    """Run the three structure sweeps for one panel."""
+    sweeps = {
+        "regfile": SweepResult("regfile"),
+        "dmem": SweepResult("dmem"),
+        "rob": SweepResult("rob"),
+    }
+    for n_regs in REGFILE_SIZES:
+        outcome = _run_point(panel, _params(n_regs=n_regs), 4, scale)
+        sweeps["regfile"].points.append((n_regs, outcome))
+    for mem_size in DMEM_SIZES:
+        outcome = _run_point(panel, _params(mem_size=mem_size), 4, scale)
+        sweeps["dmem"].points.append((mem_size, outcome))
+    for rob_size in ROB_SIZES:
+        params = _params(imem_size=_imem_for_rob(rob_size))
+        outcome = _run_point(panel, params, rob_size, scale)
+        sweeps["rob"].points.append((rob_size, outcome))
+    return sweeps
+
+
+def run(scale: Scale) -> dict[str, dict[str, SweepResult]]:
+    """Run both panels."""
+    return {panel.key: run_panel(panel, scale) for panel in PANELS}
+
+
+def format_rows(results: dict[str, dict[str, SweepResult]]) -> str:
+    """Render both panels as time series."""
+    lines = ["Figure 2 -- proving time vs structure sizes"]
+    for panel in PANELS:
+        lines.append(panel.title)
+        sweeps = results[panel.key]
+        for name in ("regfile", "dmem", "rob"):
+            series = ", ".join(
+                f"{size}:{outcome.elapsed:.1f}s"
+                + ("" if outcome.proved else f"({outcome.kind})")
+                for size, outcome in sweeps[name].points
+            )
+            lines.append(f"  {name:8s} {series}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Consolidated evaluation report (``python -m repro.bench.report``).
+
+Runs every experiment of the paper's evaluation section back to back and
+prints the tables the way EXPERIMENTS.md presents them.  This is the
+one-command artifact-evaluation entry point; the pytest-benchmark suite
+in ``benchmarks/`` covers the same ground with assertions and timing
+statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import ablation, boom_hunt, fig2, table1, table2, table3
+from repro.bench.configs import scale_by_name
+from repro.core.contracts import sandboxing
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the full evaluation and print a consolidated report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "paper"),
+        help="budget profile (see repro.bench.configs)",
+    )
+    parser.add_argument(
+        "--skip",
+        default="",
+        help="comma-separated experiments to skip "
+        "(table1,table2,table3,fig2,hunt,ablation)",
+    )
+    args = parser.parse_args(argv)
+    scale = scale_by_name(args.scale)
+    skip = set(filter(None, args.skip.split(",")))
+    started = time.monotonic()
+
+    if "table1" not in skip:
+        print(table1.format_rows(table1.run()))
+        print()
+    if "table2" not in skip:
+        print(table2.format_rows(table2.run(scale)))
+        print()
+    if "table3" not in skip:
+        print(table3.format_rows(table3.run(scale)))
+        print()
+    if "fig2" not in skip:
+        print(fig2.format_rows(fig2.run(scale)))
+        print()
+    if "hunt" not in skip:
+        steps = boom_hunt.run(sandboxing(), scale)
+        print(boom_hunt.format_rows("sandboxing", steps))
+        print()
+    if "ablation" not in skip:
+        print(ablation.format_rows(ablation.run(scale)))
+        print()
+    print(f"total evaluation time: {time.monotonic() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

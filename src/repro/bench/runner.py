@@ -1,0 +1,67 @@
+"""Shared benchmark plumbing: timed runs and paper-style table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.verifier import VerificationTask, verify
+from repro.mc.result import Outcome
+
+#: Table-2 style glyphs (the paper uses emoji; we keep them ASCII).
+GLYPHS = {
+    "proved": "proof",
+    "attack": "ATTACK",
+    "timeout": "t/o",
+    "unknown": "unknown",
+}
+
+
+@dataclass(frozen=True)
+class BudgetedResult:
+    """One table cell: an outcome plus its identifying labels."""
+
+    experiment: str
+    design: str
+    contract: str
+    outcome: Outcome
+
+    @property
+    def cell(self) -> str:
+        """Short cell text, e.g. ``ATTACK 0.3s`` or ``proof 2.5s``."""
+        return f"{GLYPHS[self.outcome.kind]} {self.outcome.elapsed:.1f}s"
+
+
+def run_task(
+    experiment: str, design: str, task: VerificationTask
+) -> BudgetedResult:
+    """Run one verification task and wrap it as a table cell."""
+    outcome = verify(task)
+    return BudgetedResult(
+        experiment=experiment,
+        design=design,
+        contract=task.contract.name,
+        outcome=outcome,
+    )
+
+
+def format_table(
+    title: str, columns: list[str], rows: list[tuple[str, list[str]]]
+) -> str:
+    """Render an ASCII table (row label + one cell per column)."""
+    label_width = max([len(r[0]) for r in rows] + [len(title)])
+    widths = [
+        max(len(col), *(len(cells[i]) for _, cells in rows))
+        for i, col in enumerate(columns)
+    ]
+    lines = [title]
+    header = " " * label_width + " | " + " | ".join(
+        col.ljust(widths[i]) for i, col in enumerate(columns)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cells in rows:
+        line = label.ljust(label_width) + " | " + " | ".join(
+            cells[i].ljust(widths[i]) for i in range(len(columns))
+        )
+        lines.append(line)
+    return "\n".join(lines)

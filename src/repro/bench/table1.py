@@ -1,0 +1,96 @@
+"""Table 1: processor inventory and shadow-logic size/effort.
+
+The paper's Table 1 lists, per processor, the design size and the size and
+manual effort of the shadow logic.  Our analogue reports the Python model
+sizes and makes the paper's reusability point concrete: *one* shadow-logic
+implementation (``repro/core/shadow.py``) serves every core and defense,
+because its only interface is the commit port and the ROB occupancy.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.core import shadow as shadow_module
+from repro.isa import machine as isa_module
+from repro.uarch import boom as boom_module
+from repro.uarch import inorder as inorder_module
+from repro.uarch import ooo_base as ooo_module
+from repro.uarch import simple_ooo as simple_module
+from repro.uarch import superscalar as superscalar_module
+
+
+@dataclass(frozen=True)
+class InventoryRow:
+    """One Table-1 row."""
+
+    name: str
+    description: str
+    paper_size: str
+    model_loc: int
+    shadow_loc: int
+
+
+def _loc(module) -> int:
+    return len(inspect.getsource(module).splitlines())
+
+
+def run() -> list[InventoryRow]:
+    """Build the processor inventory."""
+    base = _loc(ooo_module)
+    shadow = _loc(shadow_module)
+    rows = [
+        InventoryRow(
+            name="Sodor-like",
+            description="2-stage in-order, 1-cycle memory (RV32I subset)",
+            paper_size="2,700 lines Verilog + ~90 shadow",
+            model_loc=_loc(inorder_module),
+            shadow_loc=shadow,
+        ),
+        InventoryRow(
+            name="SimpleOoO",
+            description="4-stage OoO, 4-entry ROB, 1 commit/cycle, 5 defenses",
+            paper_size="1,000 lines Verilog + ~100 shadow",
+            model_loc=base + _loc(simple_module),
+            shadow_loc=shadow,
+        ),
+        InventoryRow(
+            name="Ridecore-like",
+            description="OoO + MUL, 8-entry ROB, 2 commits/cycle",
+            paper_size="8,100 lines Verilog + ~400 shadow",
+            model_loc=base + _loc(superscalar_module),
+            shadow_loc=shadow,
+        ),
+        InventoryRow(
+            name="BoomLike",
+            description="OoO + exception speculation (misaligned/illegal)",
+            paper_size="136k lines Verilog + ~240 shadow",
+            model_loc=base + _loc(boom_module),
+            shadow_loc=shadow,
+        ),
+        InventoryRow(
+            name="ISA machine",
+            description="single-cycle reference (baseline scheme, Fig. 1a)",
+            paper_size="(part of the baseline harness)",
+            model_loc=_loc(isa_module),
+            shadow_loc=0,
+        ),
+    ]
+    return rows
+
+
+def format_rows(rows: list[InventoryRow]) -> str:
+    """Render the inventory as text."""
+    lines = ["Table 1 -- processor models and shadow logic"]
+    for row in rows:
+        lines.append(
+            f"  {row.name:14s} {row.model_loc:5d} LoC model, "
+            f"{row.shadow_loc:3d} LoC shadow logic (shared) -- {row.description}"
+        )
+        lines.append(f"  {'':14s} paper: {row.paper_size}")
+    lines.append(
+        "  note: the shadow logic is literally the same module for every"
+        " core -- the paper's reusability claim (§5.1)."
+    )
+    return "\n".join(lines)

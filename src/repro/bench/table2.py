@@ -1,0 +1,153 @@
+"""Table 2: scheme comparison on five designs (sandboxing contract).
+
+Rows: Baseline (Fig. 1a), LEAVE-style, UPEC-style, Contract Shadow Logic.
+Columns: Sodor, SimpleOoO-S, SimpleOoO, Ridecore, BOOM.
+
+Expected qualitative outcomes (paper / this reproduction):
+
+====================  ========  ===========  =========  ========  ======
+scheme                Sodor     SimpleOoO-S  SimpleOoO  Ridecore  BOOM
+====================  ========  ===========  =========  ========  ======
+Baseline  (paper)     t/o       t/o          ATTACK     ATTACK    --
+LEAVE     (paper)     proof     unknown      unknown    --        --
+UPEC      (paper)     --        --           --         --        (ATTACK)
+Ours      (paper)     proof     proof        ATTACK     ATTACK    ATTACK
+====================  ========  ===========  =========  ========  ======
+
+Divergence D1 (see EXPERIMENTS.md): in an explicit-state engine the
+baseline does *not* time out at these scales -- its eager ISA machines
+prune invalid programs earlier than commit-time checking can.  The paper's
+baseline timeouts are a symbolic-proof-engine phenomenon.  We therefore
+report the baseline cells honestly (usually "proof", sometimes faster than
+ours) and mark the divergence, instead of tuning budgets to manufacture
+timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.configs import (
+    BOOM_PARAMS,
+    SIMPLE_PARAMS,
+    SPACE_BOOM,
+    SPACE_RIDECORE,
+    SPACE_SIMPLE,
+    Scale,
+)
+from repro.bench.runner import GLYPHS, format_table
+from repro.core.contracts import sandboxing
+from repro.core.leave import leave_verify
+from repro.core.secrets import secret_memory_pairs
+from repro.core.upec import upec_verify
+from repro.core.verifier import VerificationTask, verify
+from repro.mc.explorer import SearchLimits
+from repro.mc.result import Outcome
+from repro.uarch.boom import boom
+from repro.uarch.config import Defense
+from repro.uarch.inorder import InOrderCore
+from repro.uarch.simple_ooo import simple_ooo
+from repro.uarch.superscalar import ridecore
+
+
+@dataclass(frozen=True)
+class Design:
+    """One Table-2 column."""
+
+    name: str
+    core_factory: object
+    space: object
+    secure: bool
+
+
+def designs() -> list[Design]:
+    """The five evaluated designs."""
+    return [
+        Design("Sodor", lambda: InOrderCore(SIMPLE_PARAMS), SPACE_SIMPLE, True),
+        Design(
+            "SimpleOoO-S",
+            lambda: simple_ooo(Defense.DELAY_SPECTRE, params=SIMPLE_PARAMS),
+            SPACE_SIMPLE,
+            True,
+        ),
+        Design(
+            "SimpleOoO",
+            lambda: simple_ooo(Defense.NONE, params=SIMPLE_PARAMS),
+            SPACE_SIMPLE,
+            False,
+        ),
+        Design(
+            "Ridecore",
+            lambda: ridecore(params=SIMPLE_PARAMS),
+            SPACE_RIDECORE,
+            False,
+        ),
+        Design("BOOM", lambda: boom(params=BOOM_PARAMS), SPACE_BOOM, False),
+    ]
+
+
+def run(scale: Scale) -> dict[str, dict[str, Outcome]]:
+    """Run the comparison matrix; returns ``results[scheme][design]``.
+
+    Scheme coverage follows the paper's shaded cells: LEAVE only on the
+    cores its in-order-oriented candidates target (plus our OoO extension),
+    UPEC only on BOOM.
+    """
+    results: dict[str, dict[str, Outcome]] = {
+        "baseline": {},
+        "leave": {},
+        "upec": {},
+        "shadow": {},
+    }
+    contract = sandboxing()
+    for design in designs():
+        limits = SearchLimits(
+            timeout_s=scale.proof_timeout if design.secure else scale.attack_timeout
+        )
+        task = VerificationTask(
+            core_factory=design.core_factory,
+            contract=contract,
+            space=design.space,
+            limits=limits,
+        )
+        results["shadow"][design.name] = verify(task)
+        baseline_task = VerificationTask(
+            core_factory=design.core_factory,
+            contract=contract,
+            space=design.space,
+            scheme="baseline",
+            limits=SearchLimits(timeout_s=scale.baseline_timeout),
+        )
+        results["baseline"][design.name] = verify(baseline_task)
+        if design.name in ("Sodor", "SimpleOoO-S", "SimpleOoO"):
+            params = design.core_factory().params
+            roots = secret_memory_pairs(params, "all")
+            results["leave"][design.name] = leave_verify(
+                design.core_factory, contract, design.space, roots
+            )
+        if design.name == "BOOM":
+            results["upec"][design.name] = upec_verify(
+                design.core_factory,
+                contract,
+                design.space,
+                sources=("branch",),
+                limits=SearchLimits(timeout_s=scale.attack_timeout),
+            )
+    return results
+
+
+def format_rows(results: dict[str, dict[str, Outcome]]) -> str:
+    """Render the matrix the way Table 2 reads."""
+    columns = [d.name for d in designs()]
+    rows = []
+    for scheme in ("baseline", "leave", "upec", "shadow"):
+        cells = []
+        for column in columns:
+            outcome = results[scheme].get(column)
+            if outcome is None:
+                cells.append("--")
+            else:
+                cells.append(f"{GLYPHS[outcome.kind]} {outcome.elapsed:.1f}s")
+        label = {"shadow": "ours (shadow logic)"}.get(scheme, scheme)
+        rows.append((label, cells))
+    return format_table("Table 2 -- sandboxing contract", columns, rows)

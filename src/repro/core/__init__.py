@@ -1,0 +1,33 @@
+"""The paper's contribution: contracts, shadow logic and verifiers.
+
+- :mod:`repro.core.contracts` -- the software-hardware contracts (Eq. 1).
+- :mod:`repro.core.shadow` -- Contract Shadow Logic (Listing 1): two-phase
+  ISA-trace extraction, drain tracking and clock-pause synchronization.
+- :mod:`repro.core.products` -- the designs under verification: the
+  two-machine shadow product (Fig. 1b) and the four-machine baseline
+  product (Fig. 1a).
+- :mod:`repro.core.verifier` -- user-facing entry points (`verify`,
+  `find_attack`) over the model checker.
+- :mod:`repro.core.leave` -- the LEAVE-style invariant-search comparison.
+- :mod:`repro.core.upec` -- the UPEC-style source-restricted comparison.
+- :mod:`repro.core.assumptions` -- attack-exclusion assumptions (§7.1.4).
+"""
+
+from repro.core.contracts import (
+    CONTRACTS,
+    Contract,
+    constant_time,
+    sandboxing,
+)
+from repro.core.shadow import ContractShadowLogic
+from repro.core.verifier import VerificationTask, verify
+
+__all__ = [
+    "CONTRACTS",
+    "Contract",
+    "ContractShadowLogic",
+    "VerificationTask",
+    "constant_time",
+    "sandboxing",
+    "verify",
+]

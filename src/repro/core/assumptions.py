@@ -1,0 +1,48 @@
+"""Attack-exclusion assumptions (§7.1.4).
+
+After the model checker finds an attack, "we can continue to search for
+other attacks following the standard practice in formal verification: we
+add an assumption to exclude the first attack that we found."  An
+:class:`Assumption` excludes every program whose execution (transient or
+architectural) exhibits one of the named speculation events; the model
+checker prunes such paths exactly as JasperGold discards assumption-
+violating traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Assumption:
+    """Exclude programs exhibiting any of the given speculation events.
+
+    Events are the diagnostic strings cores attach to
+    :attr:`repro.events.CycleOutput.events`: ``"misaligned"``,
+    ``"illegal"``, ``"mispredict"``.
+    """
+
+    name: str
+    excluded_events: frozenset[str]
+
+    def excludes(self, events: tuple[str, ...]) -> bool:
+        """Whether this cycle's events place the program outside the class."""
+        return any(event in self.excluded_events for event in events)
+
+
+def no_misaligned_accesses() -> Assumption:
+    """§7.1.4: "the input program does not involve memory accesses using
+    misaligned addresses" (added after the first BOOM attack)."""
+    return Assumption("no-misaligned", frozenset({"misaligned"}))
+
+
+def no_illegal_accesses() -> Assumption:
+    """Exclude programs performing out-of-range memory accesses (added
+    after the second BOOM attack)."""
+    return Assumption("no-illegal", frozenset({"illegal"}))
+
+
+def no_mispredicted_branches() -> Assumption:
+    """Exclude branch misprediction (used to isolate exception sources)."""
+    return Assumption("no-mispredict", frozenset({"mispredict"}))

@@ -1,0 +1,83 @@
+"""Software-hardware contracts for secure speculation (§2.2).
+
+A contract instance defines the ISA-level observation function ``O_ISA``:
+what about each *committed* instruction the software constraint compares
+across the two secrets.  The microarchitectural observation ``O_uarch`` is
+fixed (memory-bus addresses + commit times, as in the paper) and lives on
+:class:`repro.events.CycleOutput`.
+
+Two contracts from the paper are provided:
+
+- **sandboxing**: the program, executed sequentially, must not load secrets
+  into registers.  ``O_ISA`` is the writeback data of every committed load.
+- **constant-time**: the program, executed sequentially, must not use
+  secrets as addresses, branch conditions or operands of timing-variable
+  units.  ``O_ISA`` is the branch condition, memory address and multiplier
+  operands of committed instructions.
+
+Both include the trap event of a faulting committed instruction: a trap is
+an architecturally visible effect, and including it is conservative (it can
+only make the software constraint stricter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.events import CommitRecord
+from repro.isa.instruction import Opcode
+
+#: An ISA observation: a small tagged tuple, or ``None`` for "no
+#: observation from this commit".
+IsaObservation = tuple
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A named ``O_ISA`` projection over commit records."""
+
+    name: str
+    observe: Callable[[CommitRecord], IsaObservation | None]
+
+    def isa_obs(self, record: CommitRecord) -> IsaObservation | None:
+        """Observation the contract extracts from one committed instruction."""
+        return self.observe(record)
+
+
+def _sandboxing_obs(record: CommitRecord) -> IsaObservation | None:
+    if record.exception is not None:
+        return ("exc", record.exception)
+    if record.inst.op in (Opcode.LOAD, Opcode.LH):
+        return ("load", record.wb)
+    return None
+
+
+def _constant_time_obs(record: CommitRecord) -> IsaObservation | None:
+    if record.exception is not None:
+        return ("exc", record.exception, record.addr)
+    op = record.inst.op
+    if op == Opcode.BRANCH:
+        return ("branch", record.taken)
+    if op in (Opcode.LOAD, Opcode.LH):
+        return ("addr", record.addr)
+    if op == Opcode.MUL:
+        return ("mul", record.mul_ops)
+    return None
+
+
+def sandboxing() -> Contract:
+    """The sandboxing contract (committed-load writeback data)."""
+    return Contract(name="sandboxing", observe=_sandboxing_obs)
+
+
+def constant_time() -> Contract:
+    """The constant-time contract (branch conditions, addresses, MUL ops)."""
+    return Contract(name="constant-time", observe=_constant_time_obs)
+
+
+#: Contracts by name, for the benchmark harness.
+CONTRACTS: dict[str, Callable[[], Contract]] = {
+    "sandboxing": sandboxing,
+    "constant-time": constant_time,
+}

@@ -1,0 +1,58 @@
+"""Enumeration of secret-memory pairs (the contract's ∀ M_sec, M'_sec).
+
+Eq. (1) quantifies over all pairs of secret memories.  The model checker
+enumerates this quantifier explicitly as search *roots*:
+
+- ``"all"``: every unordered pair of distinct secret-region images over
+  the value domain -- a *complete* instantiation of the quantifier within
+  the modeled domain (the default when the image count is small).
+- ``"single"``: pairs that differ in exactly one secret word, all other
+  secret words zero -- the sweep-friendly reduction used by the Fig. 2
+  benchmarks (recorded in EXPERIMENTS.md).
+
+Public memory is fixed (zeros by default); ``public_values`` overrides it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.isa.params import MachineParams
+from repro.mc.explorer import Root
+
+#: Above this many secret-region images, "auto" falls back to "single".
+_AUTO_ALL_LIMIT = 8
+
+
+def secret_memory_pairs(
+    params: MachineParams,
+    mode: str = "auto",
+    public_values: tuple[int, ...] | None = None,
+) -> list[Root]:
+    """Enumerate the secret-pair roots for a verification task."""
+    if mode not in ("auto", "all", "single"):
+        raise ValueError("mode must be auto, all or single")
+    public = public_values if public_values is not None else (0,) * params.n_public
+    if len(public) != params.n_public:
+        raise ValueError("public image has the wrong size")
+    domain = params.value_domain
+    n_secret = params.n_secret
+    if n_secret == 0:
+        return []
+    if mode == "auto":
+        mode = "all" if domain**n_secret <= _AUTO_ALL_LIMIT else "single"
+    pairs: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    if mode == "all":
+        images = list(itertools.product(range(domain), repeat=n_secret))
+        pairs = list(itertools.combinations(images, 2))
+    else:
+        for cell in range(n_secret):
+            for low, high in itertools.combinations(range(domain), 2):
+                image_a = tuple(low if i == cell else 0 for i in range(n_secret))
+                image_b = tuple(high if i == cell else 0 for i in range(n_secret))
+                pairs.append((image_a, image_b))
+    roots = []
+    for image_a, image_b in pairs:
+        label = f"sec{image_a}-vs-{image_b}"
+        roots.append(Root(label=label, dmem_pair=(public + image_a, public + image_b)))
+    return roots

@@ -1,0 +1,86 @@
+"""User-facing verification entry points.
+
+A :class:`VerificationTask` describes one cell of the paper's result
+tables: which core, which contract, which verification scheme, which
+symbolic program space, and what resource budget.  :func:`verify` runs it
+and returns an :class:`repro.mc.result.Outcome` -- proof, attack (with a
+replayable counterexample), or timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.assumptions import Assumption
+from repro.core.contracts import Contract
+from repro.core.products import BaselineProduct, Product, ShadowProduct
+from repro.isa.encoding import EncodingSpace
+from repro.mc.explorer import Explorer, Root, SearchLimits
+from repro.mc.result import Outcome
+
+SCHEME_SHADOW = "shadow"
+SCHEME_BASELINE = "baseline"
+
+
+@dataclass
+class VerificationTask:
+    """One verification run.
+
+    Attributes:
+        core_factory: zero-argument callable building one core instance;
+            products call it once per machine copy.
+        contract: the software-hardware contract to check.
+        space: the symbolic instruction universe.
+        scheme: ``"shadow"`` (Contract Shadow Logic, Fig. 1b) or
+            ``"baseline"`` (four machines, Fig. 1a).
+        secret_mode: secret-pair quantifier instantiation
+            (see :func:`repro.core.secrets.secret_memory_pairs`).
+        assumptions: attack-exclusion assumptions (§7.1.4).
+        limits: wall-clock / state budget.
+        roots: explicit secret-pair roots, overriding ``secret_mode``
+            (benchmarks use this to pin a reduced quantification; always
+            recorded in EXPERIMENTS.md).
+        gate_fetch: the shadow logic's phase-2 fetch gate (ablation knob;
+            behaviour-preserving, affects only state-space size).
+    """
+
+    core_factory: Callable[[], object]
+    contract: Contract
+    space: EncodingSpace
+    scheme: str = SCHEME_SHADOW
+    secret_mode: str = "auto"
+    assumptions: tuple[Assumption, ...] = ()
+    limits: SearchLimits = field(default_factory=SearchLimits)
+    roots: list[Root] | None = None
+    gate_fetch: bool = True
+
+    def build_product(self) -> Product:
+        """Instantiate the design under verification."""
+        if self.scheme == SCHEME_SHADOW:
+            return ShadowProduct(
+                self.core_factory,
+                self.contract,
+                self.assumptions,
+                gate_fetch=self.gate_fetch,
+            )
+        if self.scheme == SCHEME_BASELINE:
+            return BaselineProduct(self.core_factory, self.contract, self.assumptions)
+        raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    def build_roots(self) -> list[Root]:
+        """Enumerate the secret-pair roots."""
+        from repro.core.secrets import secret_memory_pairs
+
+        if self.roots is not None:
+            return self.roots
+        params = self.core_factory().params
+        return secret_memory_pairs(params, self.secret_mode)
+
+
+def verify(task: VerificationTask) -> Outcome:
+    """Run one verification task to proof, attack or timeout."""
+    product = task.build_product()
+    roots = task.build_roots()
+    explorer = Explorer(product, task.space, roots, task.limits)
+    return explorer.run()

@@ -1,0 +1,104 @@
+"""Cycle-level events shared by every machine model.
+
+These named tuples are the "wires" the verification harness observes: they
+carry exactly the information that the software-hardware contract's two
+observation functions need (§2.2 of the paper):
+
+- ``O_uarch`` (microarchitectural observation) = the memory-bus address
+  sequence plus the commit time of every committed instruction.  Both are
+  derived from :class:`CycleOutput`.
+- ``O_ISA`` (contract observation) = per-committed-instruction facts,
+  carried by :class:`CommitRecord` and projected by a
+  :class:`repro.core.contracts.Contract`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+if TYPE_CHECKING:  # annotation-only: avoids a package-import cycle
+    from repro.isa.instruction import Instruction
+
+
+class CommitRecord(NamedTuple):
+    """Architectural facts about one committed instruction.
+
+    This is the information the paper's shadow logic extracts at the commit
+    stage (§5.1): opcode, writeback value, effective address, branch
+    outcome, multiplier operands, exception.
+
+    Attributes:
+        seq: core-local sequence number (monotonic over ROB allocations;
+            squashed instructions consume numbers too).
+        pc: architectural pc of the instruction.
+        inst: the committed instruction.
+        wb: committed writeback value, or ``None``.
+        addr: ISA-level effective address (``None`` for non-memory).
+        taken: branch outcome (``None`` for non-branches).
+        mul_ops: multiplier operands (``None`` for non-``MUL``).
+        exception: exception name when the commit is a trap.
+    """
+
+    seq: int
+    pc: int
+    inst: Instruction
+    wb: int | None
+    addr: int | None
+    taken: bool | None
+    mul_ops: tuple[int, int] | None
+    exception: str | None
+
+
+class CycleOutput(NamedTuple):
+    """Everything observable about one machine during one clock cycle.
+
+    Attributes:
+        commits: instructions committed this cycle, oldest first (length is
+            bounded by the core's commit width).
+        membus: word addresses the machine placed on the memory bus this
+            cycle, in issue order.
+        halted: whether the machine is architecturally done (``HALT`` or a
+            trap has committed).
+        events: diagnostic speculation events (``"misaligned"``,
+            ``"illegal"``, ``"mispredict"``).  NOT part of the
+            microarchitectural observation -- they exist so attack-exclusion
+            assumptions (§7.1.4: "the input program does not involve memory
+            accesses using misaligned addresses") can prune programs whose
+            executions, transient or not, exhibit the excluded behaviour.
+    """
+
+    commits: tuple[CommitRecord, ...]
+    membus: tuple[int, ...]
+    halted: bool
+    events: tuple[str, ...] = ()
+
+    @property
+    def uarch_obs(self) -> tuple[tuple[int, ...], int]:
+        """The per-cycle microarchitectural observation.
+
+        The pair (memory-bus addresses, number of commits) captures the
+        address side channel and the commit-timing side channel used
+        throughout the paper's evaluation.
+        """
+        return (self.membus, len(self.commits))
+
+
+IDLE_OUTPUT = CycleOutput(commits=(), membus=(), halted=True)
+
+
+class FetchBundle(NamedTuple):
+    """Instruction delivered to a machine's fetch port for this cycle.
+
+    Attributes:
+        pc: the address the machine asked for via ``poll_fetch``.
+        inst: the (now concrete) instruction at that address.
+        predicted_taken: branch-predictor output for this fetch.  The model
+            checker treats the predictor as an uninterpreted function of
+            ``(pc, occurrence)`` shared by both machine copies, mirroring
+            the unconstrained-predictor setup of RTL verification.  ``None``
+            for non-branches and for cores that do not predict.
+    """
+
+    pc: int
+    inst: Instruction
+    predicted_taken: bool | None

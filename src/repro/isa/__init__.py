@@ -1,0 +1,40 @@
+"""Instruction-set substrate.
+
+This package defines everything at the *architectural* level:
+
+- :mod:`repro.isa.instruction` -- the reduced instruction set shared by all
+  modeled processors (the paper's SimpleOoO ISA plus the instructions its
+  Ridecore/BOOM experiments need).
+- :mod:`repro.isa.params` -- architectural parameters (register count,
+  memory geometry, value domain).
+- :mod:`repro.isa.semantics` -- the single-instruction executor.  Both the
+  single-cycle ISA machine and every out-of-order core call this function,
+  so the out-of-order cores are functionally correct *by construction*
+  modulo their bypass networks (which differential tests cover).
+- :mod:`repro.isa.encoding` -- enumerable instruction universes
+  ("encoding spaces") that play the role of JasperGold's symbolic
+  instruction memory: the model checker branches over them lazily.
+- :mod:`repro.isa.program` -- concrete programs, disassembly and random
+  program generation for differential testing.
+- :mod:`repro.isa.machine` -- the single-cycle (one instruction per cycle)
+  ISA machine used by the baseline verification scheme of Fig. 1(a).
+"""
+
+from repro.isa.encoding import EncodingSpace
+from repro.isa.instruction import Instruction, Opcode
+from repro.isa.machine import IsaMachine
+from repro.isa.params import MachineParams
+from repro.isa.program import Program, random_program
+from repro.isa.semantics import ExecResult, execute
+
+__all__ = [
+    "EncodingSpace",
+    "ExecResult",
+    "Instruction",
+    "IsaMachine",
+    "MachineParams",
+    "Opcode",
+    "Program",
+    "execute",
+    "random_program",
+]

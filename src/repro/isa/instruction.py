@@ -1,0 +1,141 @@
+"""Instruction definitions for the reduced verification ISA.
+
+The paper's in-house SimpleOoO core uses "4 customized insts (loadimm, ALU,
+load, branch)" (Table 1).  We implement exactly that set, plus the
+instructions needed by the other evaluated processors:
+
+- ``MUL`` for the Ridecore-like superscalar core (RV32IM; the constant-time
+  contract observes multiplier operands),
+- ``LH`` (halfword load) for the BoomLike core, whose §7.1.4 attacks are
+  triggered by *misaligned* and *illegal* memory accesses,
+- ``HALT`` to give every program a quiescent end state (fetching past the
+  end of instruction memory also yields ``HALT``).
+
+Instructions are plain named tuples so that machine snapshots hash fast and
+so the model checker can enumerate them cheaply.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Opcode(enum.IntEnum):
+    """Operation selector.  Values are stable (snapshots embed them)."""
+
+    LOADIMM = 0
+    ALU = 1
+    LOAD = 2
+    LH = 3
+    BRANCH = 4
+    MUL = 5
+    HALT = 6
+
+
+class AluOp(enum.IntEnum):
+    """ALU function selector (operand ``d`` of an ``ALU`` instruction)."""
+
+    ADD = 0
+    XOR = 1
+
+
+class BranchCond(enum.IntEnum):
+    """Branch condition selector (operand ``c`` of a ``BRANCH``)."""
+
+    EQZ = 0
+    NEZ = 1
+
+
+class Instruction(NamedTuple):
+    """One instruction.
+
+    Operand meaning depends on :attr:`op`:
+
+    ========  =======  =======  ==========  =========
+    op        a        b        c           d
+    ========  =======  =======  ==========  =========
+    LOADIMM   rd       imm      --          --
+    ALU       rd       rs1      rs2         AluOp
+    LOAD      rd       rs       imm         --
+    LH        rd       rs       imm         --
+    BRANCH    rs       offset   BranchCond  --
+    MUL       rd       rs1      rs2         --
+    HALT      --       --       --          --
+    ========  =======  =======  ==========  =========
+
+    ``LOAD`` computes a word address from ``reg[rs] + imm``; ``LH`` computes
+    a *byte* address ``reg[rs] + imm`` over a halfword-addressed view of the
+    same memory (see :mod:`repro.isa.semantics`).  ``BRANCH`` offsets are
+    relative to the branch's own pc.
+    """
+
+    op: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    d: int = 0
+
+
+HALT = Instruction(Opcode.HALT)
+
+
+def loadimm(rd: int, imm: int) -> Instruction:
+    """Build ``rd <- imm``."""
+    return Instruction(Opcode.LOADIMM, rd, imm)
+
+
+def alu(rd: int, rs1: int, rs2: int, aluop: AluOp = AluOp.ADD) -> Instruction:
+    """Build ``rd <- rs1 <aluop> rs2``."""
+    return Instruction(Opcode.ALU, rd, rs1, rs2, int(aluop))
+
+
+def load(rd: int, rs: int, imm: int = 0) -> Instruction:
+    """Build ``rd <- mem[reg[rs] + imm]`` (word access)."""
+    return Instruction(Opcode.LOAD, rd, rs, imm)
+
+
+def lh(rd: int, rs: int, imm: int = 0) -> Instruction:
+    """Build a halfword load from byte address ``reg[rs] + imm``."""
+    return Instruction(Opcode.LH, rd, rs, imm)
+
+
+def branch(rs: int, offset: int, cond: BranchCond = BranchCond.EQZ) -> Instruction:
+    """Build a conditional relative branch."""
+    return Instruction(Opcode.BRANCH, rs, offset, int(cond))
+
+
+def mul(rd: int, rs1: int, rs2: int) -> Instruction:
+    """Build ``rd <- rs1 * rs2``."""
+    return Instruction(Opcode.MUL, rd, rs1, rs2)
+
+
+def is_memory(inst: Instruction) -> bool:
+    """Return whether the instruction accesses data memory."""
+    return inst.op in (Opcode.LOAD, Opcode.LH)
+
+
+def is_branch(inst: Instruction) -> bool:
+    """Return whether the instruction is a conditional branch."""
+    return inst.op is Opcode.BRANCH or inst.op == Opcode.BRANCH
+
+
+def disassemble(inst: Instruction) -> str:
+    """Render an instruction as human-readable assembly."""
+    op = Opcode(inst.op)
+    if op is Opcode.LOADIMM:
+        return f"loadimm r{inst.a}, {inst.b}"
+    if op is Opcode.ALU:
+        mnemonic = "add" if inst.d == AluOp.ADD else "xor"
+        return f"{mnemonic} r{inst.a}, r{inst.b}, r{inst.c}"
+    if op is Opcode.LOAD:
+        return f"load r{inst.a}, {inst.c}(r{inst.b})"
+    if op is Opcode.LH:
+        return f"lh r{inst.a}, {inst.c}(r{inst.b})"
+    if op is Opcode.BRANCH:
+        mnemonic = "beqz" if inst.c == BranchCond.EQZ else "bnez"
+        sign = "+" if inst.b >= 0 else ""
+        return f"{mnemonic} r{inst.a}, {sign}{inst.b}"
+    if op is Opcode.MUL:
+        return f"mul r{inst.a}, r{inst.b}, r{inst.c}"
+    return "halt"

@@ -1,0 +1,69 @@
+"""Architectural parameters shared by the ISA machine and all cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Geometry of the architectural state.
+
+    The verification problem quantifies over programs, public memory and
+    secret-memory pairs drawn from these finite domains; keeping them small
+    is what makes explicit-state model checking tractable (JasperGold
+    bit-blasts the same domains symbolically).
+
+    Attributes:
+        n_regs: number of architectural registers (all reset to zero).
+        mem_size: number of data-memory words.
+        n_public: the first ``n_public`` words are public; the rest are the
+            secret region whose contents the two machine copies disagree on.
+        value_bits: width of an architectural value; registers and memory
+            words hold values in ``[0, 2**value_bits)``.
+        imem_size: number of instruction-memory slots.  Fetching outside
+            ``[0, imem_size)`` returns ``HALT``, so every program has at
+            most ``imem_size`` meaningful instructions.
+        wrap_addresses: if true (SimpleOoO/Sodor/Ridecore models), load
+            addresses wrap modulo ``mem_size`` and no memory exception can
+            occur.  If false (BoomLike), out-of-range accesses raise the
+            *illegal* exception and odd ``LH`` byte addresses raise the
+            *misaligned* exception -- the two extra mis-speculation sources
+            exercised by the paper's BOOM attacks.
+    """
+
+    n_regs: int = 4
+    mem_size: int = 4
+    n_public: int = 2
+    value_bits: int = 1
+    imem_size: int = 4
+    wrap_addresses: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_regs < 1:
+            raise ValueError("need at least one register")
+        if not 0 <= self.n_public <= self.mem_size:
+            raise ValueError("n_public must lie within the memory")
+        if self.value_bits < 1:
+            raise ValueError("value domain must contain at least {0, 1}")
+        if self.imem_size < 1:
+            raise ValueError("instruction memory cannot be empty")
+
+    @property
+    def value_domain(self) -> int:
+        """Number of distinct architectural values."""
+        return 1 << self.value_bits
+
+    @property
+    def n_secret(self) -> int:
+        """Number of secret memory words."""
+        return self.mem_size - self.n_public
+
+    @property
+    def secret_addresses(self) -> range:
+        """Word addresses of the secret region."""
+        return range(self.n_public, self.mem_size)
+
+    def reset_regs(self) -> tuple[int, ...]:
+        """Architectural register file at reset."""
+        return (0,) * self.n_regs

@@ -1,0 +1,89 @@
+"""Concrete programs and random program generation.
+
+Concrete programs serve two purposes: differential testing of the
+out-of-order cores against the ISA machine (the functional-correctness
+obligation the paper assumes, §5.4) and replaying counterexamples found by
+the model checker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+from repro.isa.encoding import EncodingSpace
+from repro.isa.instruction import HALT, Instruction, disassemble
+from repro.isa.params import MachineParams
+
+
+class Program:
+    """An immutable instruction memory image.
+
+    Fetching any address outside the image returns ``HALT``, so programs
+    terminate when control falls off either end.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction]):
+        self._insts = tuple(instructions)
+
+    def __len__(self) -> int:
+        return len(self._insts)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._insts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Program) and self._insts == other._insts
+
+    def __hash__(self) -> int:
+        return hash(self._insts)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Instruction at ``pc`` (``HALT`` outside the image)."""
+        if 0 <= pc < len(self._insts):
+            return self._insts[pc]
+        return HALT
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """The raw instruction tuple."""
+        return self._insts
+
+    def listing(self) -> str:
+        """Multi-line disassembly with pc labels."""
+        lines = [f"{pc:3d}: {disassemble(inst)}" for pc, inst in enumerate(self)]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        body = "; ".join(disassemble(inst) for inst in self._insts)
+        return f"Program[{body}]"
+
+
+def random_program(
+    space: EncodingSpace,
+    length: int,
+    rng: random.Random,
+    halt_bias: float = 0.15,
+) -> Program:
+    """Draw a random program from an encoding space.
+
+    ``halt_bias`` controls early termination so differential tests cover
+    short programs too.
+    """
+    universe = [inst for inst in space.instructions() if inst != HALT]
+    if not universe:
+        return Program([HALT] * length)
+    body: list[Instruction] = []
+    for _ in range(length):
+        if rng.random() < halt_bias:
+            body.append(HALT)
+        else:
+            body.append(rng.choice(universe))
+    return Program(body)
+
+
+def random_memory(params: MachineParams, rng: random.Random) -> tuple[int, ...]:
+    """Draw a random data-memory image over the value domain."""
+    return tuple(
+        rng.randrange(params.value_domain) for _ in range(params.mem_size)
+    )

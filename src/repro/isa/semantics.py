@@ -1,0 +1,171 @@
+"""Single-instruction execution semantics.
+
+:func:`execute` is the *only* place in the repository that defines what an
+instruction does architecturally.  The single-cycle ISA machine executes it
+directly; out-of-order cores call it from their functional units with
+operand values taken from their bypass networks.  Sharing the executor is
+the Python analogue of the paper's "functional correctness is verified
+separately" decoupling (§5.4): security verification never has to re-derive
+instruction semantics.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.isa.instruction import AluOp, BranchCond, Instruction, Opcode
+from repro.isa.params import MachineParams
+
+EXC_MISALIGNED = "misaligned"
+EXC_ILLEGAL = "illegal"
+
+
+class ExecResult(NamedTuple):
+    """Architectural outcome of one instruction.
+
+    Attributes:
+        wb_reg: destination register, or ``None``.
+        wb_value: value written to ``wb_reg`` on commit (``None`` when the
+            instruction faults: a faulting load never writes back).
+        addr: ISA-level effective address as computed by the program (word
+            address for ``LOAD``, *byte* address for ``LH``), before any
+            legality check.  This is what the constant-time contract
+            observes.  ``None`` for non-memory instructions.
+        mem_word: physical data-memory word touched by the access.  For a
+            faulting access this is the word a transient (Meltdown-style)
+            forward would expose; legal accesses read exactly this word.
+        taken: branch outcome, or ``None`` for non-branches.
+        target: next program counter.
+        mul_ops: multiplier operand pair (constant-time observation), or
+            ``None``.
+        exception: ``None``, :data:`EXC_MISALIGNED` or :data:`EXC_ILLEGAL`.
+        transient_value: value a faulting load exposes to dependent
+            instructions on cores that forward speculatively past faults
+            (BoomLike with ``speculative_exceptions``).  ``None`` when the
+            instruction did not fault.
+        halt: whether the instruction architecturally stops the program
+            (``HALT``, or any faulting instruction: traps halt our machines).
+    """
+
+    wb_reg: int | None
+    wb_value: int | None
+    addr: int | None
+    mem_word: int | None
+    taken: bool | None
+    target: int
+    mul_ops: tuple[int, int] | None
+    exception: str | None
+    transient_value: int | None
+    halt: bool
+
+
+def _result(pc: int, **overrides: object) -> ExecResult:
+    base = {
+        "wb_reg": None,
+        "wb_value": None,
+        "addr": None,
+        "mem_word": None,
+        "taken": None,
+        "target": pc + 1,
+        "mul_ops": None,
+        "exception": None,
+        "transient_value": None,
+        "halt": False,
+    }
+    base.update(overrides)
+    return ExecResult(**base)  # type: ignore[arg-type]
+
+
+def execute(
+    inst: Instruction,
+    pc: int,
+    regs: tuple[int, ...],
+    dmem: tuple[int, ...],
+    params: MachineParams,
+) -> ExecResult:
+    """Execute one instruction over the given architectural state.
+
+    ``regs`` supplies operand values; on an out-of-order core the caller
+    substitutes bypassed values by passing an adjusted register view.
+    """
+    mask = params.value_domain - 1
+    op = inst.op
+    if op == Opcode.HALT:
+        return _result(pc, halt=True)
+    if op == Opcode.LOADIMM:
+        return _result(pc, wb_reg=inst.a, wb_value=inst.b & mask)
+    if op == Opcode.ALU:
+        lhs, rhs = regs[inst.b], regs[inst.c]
+        value = (lhs ^ rhs) if inst.d == AluOp.XOR else (lhs + rhs)
+        return _result(pc, wb_reg=inst.a, wb_value=value & mask)
+    if op == Opcode.MUL:
+        lhs, rhs = regs[inst.b], regs[inst.c]
+        return _result(
+            pc, wb_reg=inst.a, wb_value=(lhs * rhs) & mask, mul_ops=(lhs, rhs)
+        )
+    if op == Opcode.BRANCH:
+        value = regs[inst.a]
+        taken = value == 0 if inst.c == BranchCond.EQZ else value != 0
+        target = pc + inst.b if taken else pc + 1
+        return _result(pc, taken=taken, target=target)
+    if op == Opcode.LOAD:
+        return _load_word(inst, pc, regs, dmem, params)
+    if op == Opcode.LH:
+        return _load_half(inst, pc, regs, dmem, params)
+    raise ValueError(f"unknown opcode {op!r}")
+
+
+def _load_word(
+    inst: Instruction,
+    pc: int,
+    regs: tuple[int, ...],
+    dmem: tuple[int, ...],
+    params: MachineParams,
+) -> ExecResult:
+    raw = regs[inst.b] + inst.c
+    word = raw % params.mem_size
+    if params.wrap_addresses or 0 <= raw < params.mem_size:
+        return _result(
+            pc, wb_reg=inst.a, wb_value=dmem[word], addr=raw, mem_word=word
+        )
+    # BoomLike addressing: out-of-range accesses fault, and the physical
+    # wrap-around word is what a transient forward would expose.
+    return _result(
+        pc,
+        wb_reg=inst.a,
+        addr=raw,
+        mem_word=word,
+        exception=EXC_ILLEGAL,
+        transient_value=dmem[word],
+        halt=True,
+    )
+
+
+def _load_half(
+    inst: Instruction,
+    pc: int,
+    regs: tuple[int, ...],
+    dmem: tuple[int, ...],
+    params: MachineParams,
+) -> ExecResult:
+    raw = regs[inst.b] + inst.c  # byte address over halfword-addressed memory
+    word = (raw // 2) % params.mem_size
+    if raw % 2 == 1:
+        exception = EXC_MISALIGNED
+    elif not 0 <= raw // 2 < params.mem_size:
+        exception = EXC_ILLEGAL
+    else:
+        exception = None
+    if exception is None:
+        return _result(
+            pc, wb_reg=inst.a, wb_value=dmem[word], addr=raw, mem_word=word
+        )
+    return _result(
+        pc,
+        wb_reg=inst.a,
+        addr=raw,
+        mem_word=word,
+        exception=exception,
+        transient_value=dmem[word],
+        halt=True,
+    )

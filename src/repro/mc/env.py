@@ -1,0 +1,76 @@
+"""The symbolic environment: program memory and predictor oracle.
+
+An :class:`Environment` records every nondeterministic input choice made
+along a search path:
+
+- ``imem``: the partially concretized symbolic instruction memory (one
+  entry per slot, ``None`` = not yet fetched by anyone), and
+- ``preds``: the branch-predictor oracle, an uninterpreted function
+  ``(pc, occurrence) -> taken`` concretized on demand.  Both machine
+  copies consult the *same* oracle, so predictions can never differ
+  across copies for the same fetch history -- predictions are inputs,
+  not secret-dependent state.
+
+Environments are immutable and hashable; extending one returns a new
+environment, so search nodes can share structure.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.isa.instruction import HALT, Instruction
+from repro.isa.program import Program
+
+#: Predictor-oracle key: (pc, capped per-machine fetch occurrence).
+PredKey = tuple[int, int]
+
+
+class Environment(NamedTuple):
+    """All input nondeterminism resolved so far along one search path."""
+
+    imem: tuple[Instruction | None, ...]
+    preds: tuple[tuple[PredKey, bool], ...]
+
+    @classmethod
+    def empty(cls, imem_size: int) -> "Environment":
+        """A fully symbolic environment."""
+        return cls(imem=(None,) * imem_size, preds=())
+
+    def slot(self, pc: int) -> Instruction | None:
+        """Instruction at a pc: concrete, ``HALT`` out of range, or ``None``."""
+        if 0 <= pc < len(self.imem):
+            return self.imem[pc]
+        return HALT
+
+    def with_slots(self, assignments: dict[int, Instruction]) -> "Environment":
+        """Concretize instruction-memory slots."""
+        imem = list(self.imem)
+        for pc, inst in assignments.items():
+            imem[pc] = inst
+        return self._replace(imem=tuple(imem))
+
+    def prediction(self, key: PredKey) -> bool | None:
+        """Oracle answer for a fetch, if already concretized."""
+        for stored, taken in self.preds:
+            if stored == key:
+                return taken
+        return None
+
+    def with_predictions(self, assignments: dict[PredKey, bool]) -> "Environment":
+        """Concretize predictor-oracle entries."""
+        merged = dict(self.preds)
+        merged.update(assignments)
+        return self._replace(preds=tuple(sorted(merged.items())))
+
+    def program(self) -> Program:
+        """The concrete program this environment denotes.
+
+        Unconcretized slots were never fetched on the failing path, so any
+        instruction completes the counterexample; ``HALT`` keeps it short.
+        """
+        return Program(inst if inst is not None else HALT for inst in self.imem)
+
+    def predictor_map(self) -> dict[PredKey, bool]:
+        """The concretized oracle entries as a dict."""
+        return dict(self.preds)

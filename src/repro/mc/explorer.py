@@ -1,0 +1,231 @@
+"""The explicit-state search engine.
+
+One :class:`Explorer` checks one product (design under verification)
+against one encoding space and a set of secret-pair roots.  The search is
+a depth-first traversal of the product transition system with:
+
+- **lazy program concretization**: a symbolic instruction-memory slot is
+  enumerated only when some machine actually fetches it; programs sharing
+  a prefix share the whole search subtree up to the first difference.
+- **shared predictor oracle**: nondeterministic branch predictions are
+  free inputs keyed by ``(pc, occurrence)`` and shared by both copies.
+- **visited-state closure**: product snapshots are canonical (sequence
+  numbers rebased), so revisited states -- including those of looping
+  programs -- are cut off.  An exhausted frontier is an unbounded proof
+  over the modeled domain.
+- **wall-clock budget**: exceeding it yields the paper's third outcome,
+  timeout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+from repro.events import FetchBundle
+from repro.isa.encoding import EncodingSpace
+from repro.isa.instruction import Instruction, Opcode
+from repro.mc.env import Environment
+from repro.mc.result import (
+    ATTACK,
+    PROVED,
+    TIMEOUT,
+    Counterexample,
+    Outcome,
+    SearchStats,
+)
+
+#: How many expansions between wall-clock checks.
+_CLOCK_STRIDE = 128
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Resource budget for one verification task.
+
+    The paper uses a 7-day timeout on a Xeon server; these are the
+    laptop-scale equivalents.  ``max_states`` is a safety net for test
+    environments; ``None`` disables a limit.
+    """
+
+    timeout_s: float | None = None
+    max_states: int | None = None
+
+
+@dataclass(frozen=True)
+class Root:
+    """One initial-condition root: a pair of memories differing in secrets."""
+
+    label: str
+    dmem_pair: tuple[tuple[int, ...], tuple[int, ...]]
+
+
+class _Budget:
+    """Tracks elapsed time / state count against the limits."""
+
+    def __init__(self, limits: SearchLimits):
+        self.limits = limits
+        self.start = time.monotonic()
+        self._tick = 0
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def exhausted(self, states: int) -> bool:
+        limits = self.limits
+        if limits.max_states is not None and states >= limits.max_states:
+            return True
+        if limits.timeout_s is None:
+            return False
+        self._tick += 1
+        if self._tick % _CLOCK_STRIDE:
+            return False
+        return self.elapsed() > limits.timeout_s
+
+
+class Explorer:
+    """Depth-first explicit-state search over one product."""
+
+    def __init__(
+        self,
+        product,
+        space: EncodingSpace,
+        roots: list[Root],
+        limits: SearchLimits = SearchLimits(),
+    ):
+        self.product = product
+        self.space = space
+        self.roots = roots
+        self.limits = limits
+        self.universe = space.instructions()
+
+    def run(self) -> Outcome:
+        """Search every root; return proof, first attack, or timeout."""
+        budget = _Budget(self.limits)
+        visited: set = set()
+        stack: list[tuple[int, Environment, tuple, int]] = []
+        states = transitions = pruned = max_depth = 0
+        prune_reasons: dict[str, int] = {}
+        imem_size = self.product.params.imem_size
+        for root_index, root in enumerate(self.roots):
+            self.product.reset(root.dmem_pair)
+            stack.append(
+                (root_index, Environment.empty(imem_size), self.product.snapshot(), 0)
+            )
+        # Data memories are *not* part of machine snapshots (they are
+        # constant along a root's subtree), so the product must be re-reset
+        # whenever the search crosses into a different root's subtree.
+        active_root: int | None = None
+        while stack:
+            root_index, env, snap, depth = stack.pop()
+            key = (root_index, env, snap)
+            if key in visited:
+                continue
+            visited.add(key)
+            if root_index != active_root:
+                self.product.reset(self.roots[root_index].dmem_pair)
+                active_root = root_index
+            states += 1
+            max_depth = max(max_depth, depth)
+            if budget.exhausted(states):
+                stats = SearchStats(
+                    states, transitions, pruned, max_depth, prune_reasons
+                )
+                return Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
+            for child_env, bundles in self._choices(env, snap):
+                self.product.restore(snap)
+                result = self.product.step_cycle(bundles)
+                transitions += 1
+                if result.pruned:
+                    pruned += 1
+                    reason = result.reason or "assume"
+                    prune_reasons[reason] = prune_reasons.get(reason, 0) + 1
+                    continue
+                if result.failed:
+                    stats = SearchStats(
+                        states, transitions, pruned, max_depth, prune_reasons
+                    )
+                    cex = Counterexample(
+                        root_label=self.roots[root_index].label,
+                        dmem_pair=self.roots[root_index].dmem_pair,
+                        env=child_env,
+                        depth=depth + 1,
+                        reason=result.reason or "leakage",
+                    )
+                    return Outcome(
+                        kind=ATTACK,
+                        elapsed=budget.elapsed(),
+                        stats=stats,
+                        counterexample=cex,
+                    )
+                if self.product.quiescent():
+                    continue  # terminal OK state
+                stack.append(
+                    (root_index, child_env, self.product.snapshot(), depth + 1)
+                )
+        stats = SearchStats(states, transitions, pruned, max_depth, prune_reasons)
+        return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
+
+    # ------------------------------------------------------------------
+    # Nondeterministic-choice enumeration
+    # ------------------------------------------------------------------
+    def _choices(self, env: Environment, snap: tuple):
+        """Yield (extended environment, fetch bundles) for one cycle.
+
+        Branches over (a) instructions for symbolic slots fetched this
+        cycle and (b) predictor-oracle bits for newly predicted branches.
+        """
+        self.product.restore(snap)
+        requests = self.product.fetch_requests()
+        n_slots = len(self.product.machines)
+        imem_size = self.product.params.imem_size
+        open_pcs = sorted(
+            {
+                req.pc
+                for req in requests
+                if 0 <= req.pc < imem_size and env.imem[req.pc] is None
+            }
+        )
+        for insts in itertools.product(self.universe, repeat=len(open_pcs)):
+            env_i = env.with_slots(dict(zip(open_pcs, insts))) if open_pcs else env
+            # Which fetches need a fresh predictor-oracle bit?
+            open_keys: list[tuple[int, int]] = []
+            for req in requests:
+                inst = env_i.slot(req.pc)
+                assert inst is not None
+                if inst.op != Opcode.BRANCH or req.predictor != "nondet":
+                    continue
+                key = (req.pc, req.occurrence)
+                if env_i.prediction(key) is None and key not in open_keys:
+                    open_keys.append(key)
+            for bits in itertools.product((False, True), repeat=len(open_keys)):
+                env_ip = (
+                    env_i.with_predictions(dict(zip(open_keys, bits)))
+                    if open_keys
+                    else env_i
+                )
+                bundles: list[FetchBundle | None] = [None] * n_slots
+                for req in requests:
+                    inst = env_ip.slot(req.pc)
+                    assert inst is not None
+                    bundles[req.slot] = FetchBundle(
+                        pc=req.pc,
+                        inst=inst,
+                        predicted_taken=self._prediction(req, inst, env_ip),
+                    )
+                yield env_ip, bundles
+
+    @staticmethod
+    def _prediction(
+        req, inst: Instruction, env: Environment
+    ) -> bool | None:
+        if inst.op != Opcode.BRANCH or req.predictor == "none":
+            return None
+        if req.predictor == "taken":
+            return True
+        if req.predictor == "not_taken":
+            return False
+        taken = env.prediction((req.pc, req.occurrence))
+        assert taken is not None
+        return taken

@@ -1,0 +1,88 @@
+"""Deterministic counterexample replay.
+
+A :class:`repro.mc.result.Counterexample` contains the full environment
+(program + predictor oracle + secret pair) of the failing path; the product
+is deterministic given that environment, so the attack re-executes exactly.
+Replay produces the cycle-by-cycle trace the paper's counterexample
+waveforms would show: per-copy memory-bus activity, commits and the shadow
+logic's phase transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.products import Product, StepResult
+from repro.events import CycleOutput, FetchBundle
+from repro.isa.instruction import Opcode, disassemble
+from repro.mc.result import Counterexample
+
+
+@dataclass(frozen=True)
+class ReplayCycle:
+    """One replayed product cycle."""
+
+    cycle: int
+    outputs: tuple[CycleOutput, ...]
+    result: StepResult
+
+
+def replay(
+    product: Product, cex: Counterexample, max_cycles: int = 1_000
+) -> list[ReplayCycle]:
+    """Re-execute a counterexample; the last cycle has ``result.failed``.
+
+    Raises ``RuntimeError`` if the assertion does not re-fire -- that would
+    mean the product is not deterministic over its environment, which the
+    test-suite treats as a model bug.
+    """
+    product.reset(cex.dmem_pair)
+    trace: list[ReplayCycle] = []
+    for cycle in range(max_cycles):
+        requests = product.fetch_requests()
+        bundles: list[FetchBundle | None] = [None] * len(product.machines)
+        for req in requests:
+            inst = cex.env.slot(req.pc)
+            assert inst is not None, "counterexample environment is incomplete"
+            predicted: bool | None = None
+            if inst.op == Opcode.BRANCH and req.predictor != "none":
+                if req.predictor == "taken":
+                    predicted = True
+                elif req.predictor == "not_taken":
+                    predicted = False
+                else:
+                    predicted = cex.env.prediction((req.pc, req.occurrence))
+                    if predicted is None:
+                        # The failing path never needed this bit; any value
+                        # extends the environment consistently.
+                        predicted = False
+            bundles[req.slot] = FetchBundle(pc=req.pc, inst=inst, predicted_taken=predicted)
+        result = product.step_cycle(bundles)
+        trace.append(ReplayCycle(cycle, product.last_outputs, result))
+        if result.failed:
+            return trace
+        if result.pruned:
+            raise RuntimeError("replayed counterexample hit an assumption prune")
+        if product.quiescent():
+            raise RuntimeError("replayed counterexample ended without failing")
+    raise RuntimeError("replay exceeded the cycle budget")
+
+
+def format_trace(trace: list[ReplayCycle]) -> str:
+    """Render a replay as a waveform-style text table."""
+    lines = ["cycle | copy | membus      | commits"]
+    for record in trace:
+        for side, out in enumerate(record.outputs):
+            commits = ", ".join(
+                disassemble(r.inst)
+                + (f" [wb={r.wb}]" if r.wb is not None else "")
+                + (f" [exc={r.exception}]" if r.exception else "")
+                for r in out.commits
+            )
+            bus = ",".join(str(a) for a in out.membus) or "-"
+            lines.append(
+                f"{record.cycle:5d} | {side:4d} | {bus:11s} | {commits}"
+            )
+    last = trace[-1].result
+    lines.append(f"=> {'LEAKAGE ASSERTION FIRED' if last.failed else last.reason}")
+    return "\n".join(lines)

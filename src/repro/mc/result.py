@@ -1,0 +1,107 @@
+"""Verification outcomes: proof, attack (counterexample) or timeout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.mc.env import Environment
+
+PROVED = "proved"
+ATTACK = "attack"
+TIMEOUT = "timeout"
+UNKNOWN = "unknown"  # used by the LEAVE-style verifier
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete attack found by the model checker.
+
+    Attributes:
+        root_label: which secret pair the attack distinguishes.
+        dmem_pair: the two initial data memories (public part equal).
+        env: the resolved environment (program + predictor oracle).
+        depth: cycle at which the leakage assertion fired.
+        reason: assertion identifier (``"leakage"``).
+    """
+
+    root_label: str
+    dmem_pair: tuple[tuple[int, ...], tuple[int, ...]]
+    env: Environment
+    depth: int
+    reason: str
+
+    @property
+    def program(self) -> Program:
+        """The attack program (unfetched slots filled with ``HALT``)."""
+        return self.env.program()
+
+    def describe(self) -> str:
+        """Human-readable counterexample summary."""
+        lines = [
+            f"attack distinguishing {self.root_label}",
+            f"  memories: {self.dmem_pair[0]} vs {self.dmem_pair[1]}",
+            f"  assertion fired at cycle {self.depth}",
+            "  program:",
+        ]
+        lines.extend("    " + line for line in self.program.listing().splitlines())
+        if self.env.preds:
+            entries = ", ".join(
+                f"pc{pc}#{occ}->{'T' if taken else 'NT'}"
+                for (pc, occ), taken in self.env.preds
+            )
+            lines.append(f"  predictor: {entries}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Search-effort accounting."""
+
+    states: int = 0
+    transitions: int = 0
+    pruned: int = 0
+    max_depth: int = 0
+    prune_reasons: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of one verification task.
+
+    ``kind`` is ``"proved"`` (unbounded proof over the modeled domain),
+    ``"attack"`` (counterexample attached), ``"timeout"`` (resource budget
+    exhausted -- the paper's third outcome) or ``"unknown"`` (LEAVE-style
+    inconclusive result).
+    """
+
+    kind: str
+    elapsed: float
+    stats: SearchStats
+    counterexample: Counterexample | None = None
+    note: str | None = None
+
+    @property
+    def proved(self) -> bool:
+        """Whether an unbounded proof was completed."""
+        return self.kind == PROVED
+
+    @property
+    def attacked(self) -> bool:
+        """Whether a counterexample (attack) was found."""
+        return self.kind == ATTACK
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the search exceeded its budget."""
+        return self.kind == TIMEOUT
+
+    def summary(self) -> str:
+        """One-line outcome summary (bench-harness friendly)."""
+        base = (
+            f"{self.kind} in {self.elapsed:.2f}s "
+            f"({self.stats.states} states, {self.stats.transitions} transitions)"
+        )
+        if self.note:
+            base += f" [{self.note}]"
+        return base

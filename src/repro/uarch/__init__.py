@@ -1,0 +1,35 @@
+"""Microarchitectural substrate: the processors under verification.
+
+Four processor models mirror the paper's Table 1:
+
+- :class:`repro.uarch.inorder.InOrderCore` -- Sodor-like 2-stage in-order
+  pipeline (secure: no speculative side effects).
+- :class:`repro.uarch.simple_ooo.SimpleOoOCore` -- the paper's in-house
+  minimal out-of-order core, with the five defense augmentations of §7.2
+  selected by :class:`repro.uarch.config.Defense`.
+- :class:`repro.uarch.superscalar.SuperscalarCore` -- Ridecore-like core
+  with ``MUL`` and commit width 2 (exercises the superscalar shadow logic).
+- :class:`repro.uarch.boom.BoomLikeCore` -- BOOM-like core whose extra
+  mis-speculation sources are memory exceptions (misaligned / illegal),
+  with Meltdown-style transient forwarding past faults.
+
+All cores expose the uniform machine interface defined by
+:class:`repro.uarch.ooo_base.MachineInterface` so verification products can
+drive them interchangeably.
+"""
+
+from repro.uarch.boom import BoomLikeCore
+from repro.uarch.config import CacheConfig, CoreConfig, Defense
+from repro.uarch.inorder import InOrderCore
+from repro.uarch.simple_ooo import SimpleOoOCore
+from repro.uarch.superscalar import SuperscalarCore
+
+__all__ = [
+    "BoomLikeCore",
+    "CacheConfig",
+    "CoreConfig",
+    "Defense",
+    "InOrderCore",
+    "SimpleOoOCore",
+    "SuperscalarCore",
+]

@@ -1,0 +1,46 @@
+"""Direct-mapped data cache state.
+
+Only the tag array matters for verification: data always comes from the
+(read-only) data memory, so the cache determines *timing* and *memory-bus
+visibility* -- exactly the two channels ``O_uarch`` observes.  Misses go to
+the bus; hits are serviced silently.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CacheConfig
+
+
+class DataCache:
+    """Tag array of a direct-mapped cache.
+
+    The state is a tuple of line indices (or ``None``) per set, so the
+    whole cache snapshots as one hashable tuple.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._tags: tuple[int | None, ...] = (None,) * config.n_sets
+
+    def reset(self) -> None:
+        """Empty every set (machine reset)."""
+        self._tags = (None,) * self.config.n_sets
+
+    def hit(self, word_addr: int) -> bool:
+        """Whether the word is currently cached."""
+        line = self.config.line_of(word_addr)
+        return self._tags[self.config.set_of(word_addr)] == line
+
+    def fill(self, word_addr: int) -> None:
+        """Install the line covering ``word_addr`` (evicting the set)."""
+        tags = list(self._tags)
+        tags[self.config.set_of(word_addr)] = self.config.line_of(word_addr)
+        self._tags = tuple(tags)
+
+    def snapshot(self) -> tuple[int | None, ...]:
+        """Hashable cache state."""
+        return self._tags
+
+    def restore(self, snap: tuple[int | None, ...]) -> None:
+        """Restore a state produced by :meth:`snapshot`."""
+        self._tags = snap

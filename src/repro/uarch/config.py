@@ -1,0 +1,121 @@
+"""Core configuration: pipeline geometry and defense selection.
+
+The five defenses are the ones evaluated in Table 3 of the paper (§7.2);
+they are configuration knobs rather than separate cores precisely because
+the paper's point is that *the same shadow logic* verifies all of them
+("we can directly reuse the shadow logic we developed for SimpleOoO").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.params import MachineParams
+
+
+class Defense(enum.Enum):
+    """Hardware secure-speculation defense augmentations (§7.2).
+
+    - ``NONE``: the insecure baseline core.
+    - ``NOFWD_FUTURISTIC``: never forward a load's data to younger
+      instructions until the load commits (STT/NDA-futuristic flavour).
+    - ``NOFWD_SPECTRE``: same, but only for loads that entered the pipeline
+      with a branch ahead of them in the ROB (spectre flavour).
+    - ``DELAY_FUTURISTIC``: delay the *issue* of every memory instruction
+      until it reaches the head of the ROB (its commit point).
+    - ``DELAY_SPECTRE``: same, but only for memory instructions that entered
+      the pipeline with a branch ahead in the ROB.  This is the secure core
+      called *SimpleOoO-S* in §7.1.
+    - ``DOM_SPECTRE``: simplified Delay-on-Miss: loads always issue
+      speculatively and complete from the cache on a hit; on a miss the
+      DRAM access is delayed until the load is non-speculative if it
+      entered the pipeline with a branch ahead.  Known insecure
+      (speculative-interference attacks).
+    """
+
+    NONE = "none"
+    NOFWD_FUTURISTIC = "nofwd-futuristic"
+    NOFWD_SPECTRE = "nofwd-spectre"
+    DELAY_FUTURISTIC = "delay-futuristic"
+    DELAY_SPECTRE = "delay-spectre"
+    DOM_SPECTRE = "dom-spectre"
+
+
+#: Defenses whose restrictions only apply to instructions that entered the
+#: pipeline with an unretired branch ahead of them (the "spectre" threat
+#: model, where branch prediction is the only mis-speculation source).
+SPECTRE_DEFENSES = frozenset(
+    {Defense.NOFWD_SPECTRE, Defense.DELAY_SPECTRE, Defense.DOM_SPECTRE}
+)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Direct-mapped data-cache geometry (used by the DoM defense).
+
+    The paper's DoM experiment models "a cache with a single cache entry
+    with a 1-cycle hit and a 3-cycle miss".
+    """
+
+    n_sets: int = 1
+    block_words: int = 2
+    hit_latency: int = 1
+    miss_latency: int = 3
+
+    def line_of(self, word_addr: int) -> int:
+        """Cache line index covering a word address."""
+        return word_addr // self.block_words
+
+    def set_of(self, word_addr: int) -> int:
+        """Cache set index for a word address."""
+        return self.line_of(word_addr) % self.n_sets
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Pipeline geometry of an out-of-order core.
+
+    Attributes:
+        params: architectural parameters (shared with the ISA machine).
+        rob_size: reorder-buffer capacity; the paper's dominant scalability
+            factor (Fig. 2).
+        commit_width: instructions committed per cycle (Ridecore: 2).
+        mem_latency: cycles for a memory access on cache-less cores.
+        mul_latency: multiplier latency (Ridecore).
+        defense: which secure-speculation augmentation is active.
+        cache: data-cache geometry; ``None`` means a flat memory with
+            ``mem_latency`` and a memory-bus event per access.
+        speculative_exceptions: when true (BoomLike default), a faulting
+            load transiently forwards the loaded value to dependents until
+            the trap commits (Meltdown/L1TF behaviour).  When false,
+            faulting loads never forward -- the restricted model a
+            UPEC-style user who declared "branch misprediction is the only
+            speculation source" would verify.
+    """
+
+    params: MachineParams = MachineParams()
+    rob_size: int = 4
+    commit_width: int = 1
+    mem_latency: int = 1
+    mul_latency: int = 2
+    branch_latency: int = 3
+    defense: Defense = Defense.NONE
+    cache: CacheConfig | None = None
+    speculative_exceptions: bool = True
+    predictor: str = "nondet"
+    predictor_occ_cap: int = 2
+
+    def __post_init__(self) -> None:
+        if self.predictor not in ("nondet", "taken", "not_taken"):
+            raise ValueError("predictor must be nondet, taken or not_taken")
+        if self.predictor_occ_cap < 1:
+            raise ValueError("predictor occurrence cap must be positive")
+        if self.rob_size < 1:
+            raise ValueError("ROB needs at least one entry")
+        if self.commit_width < 1:
+            raise ValueError("commit width must be positive")
+        if self.mem_latency < 1 or self.mul_latency < 1 or self.branch_latency < 1:
+            raise ValueError("latencies must be at least one cycle")
+        if self.defense is Defense.DOM_SPECTRE and self.cache is None:
+            raise ValueError("the DoM defense requires a cache")

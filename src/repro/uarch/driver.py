@@ -1,0 +1,125 @@
+"""Drive a single machine over a concrete program.
+
+The driver replicates exactly the fetch protocol the model checker uses
+(poll, concretize, predict, step), but with a concrete program and a
+concrete branch-predictor policy.  It backs the differential test-suite
+(out-of-order cores vs. the ISA machine -- the functional-correctness
+obligation of §5.4) and counterexample replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Protocol
+
+from repro.events import CommitRecord, CycleOutput, FetchBundle
+from repro.isa.instruction import Opcode
+from repro.isa.program import Program
+
+#: Maps (pc, occurrence) to a predicted branch direction.
+PredictorPolicy = Callable[[int, int], bool]
+
+
+class Machine(Protocol):
+    """The uniform machine-driving protocol (ISA machine or any core)."""
+
+    def reset(self, dmem: tuple[int, ...]) -> None: ...
+
+    def poll_fetch(self) -> int | None: ...
+
+    def fetch_occurrence(self, pc: int) -> int: ...
+
+    def step(self, fetch: FetchBundle | None) -> CycleOutput: ...
+
+    @property
+    def halted(self) -> bool: ...
+
+
+def always_not_taken(pc: int, occurrence: int) -> bool:
+    """Static not-taken prediction."""
+    return False
+
+
+def always_taken(pc: int, occurrence: int) -> bool:
+    """Static taken prediction."""
+    return True
+
+
+def seeded_predictor(seed: int) -> PredictorPolicy:
+    """A deterministic pseudo-random predictor keyed by ``(pc, occurrence)``.
+
+    Both copies of a machine pair driven with the same policy see the same
+    predictions -- the property the verification products rely on.
+    """
+
+    def predict(pc: int, occurrence: int) -> bool:
+        return random.Random(hash((seed, pc, occurrence))).random() < 0.5
+
+    return predict
+
+
+class ConcreteRun:
+    """Result of driving a machine to completion."""
+
+    def __init__(
+        self,
+        outputs: list[CycleOutput],
+        commits: list[CommitRecord],
+        cycles: int,
+        halted: bool,
+    ):
+        self.outputs = outputs
+        self.commits = commits
+        self.cycles = cycles
+        self.halted = halted
+
+    @property
+    def membus(self) -> tuple[int, ...]:
+        """Concatenated memory-bus address sequence."""
+        return tuple(a for out in self.outputs for a in out.membus)
+
+    @property
+    def commit_cycles(self) -> tuple[int, ...]:
+        """Commit time (cycle index) of every committed instruction."""
+        times = []
+        for cycle, out in enumerate(self.outputs):
+            times.extend([cycle] * len(out.commits))
+        return tuple(times)
+
+
+def run_concrete(
+    machine: Machine,
+    program: Program,
+    dmem: tuple[int, ...],
+    predictor: PredictorPolicy = always_not_taken,
+    max_cycles: int = 2_000,
+    reset: bool = True,
+) -> ConcreteRun:
+    """Run ``machine`` on a concrete program until it halts.
+
+    Raises ``RuntimeError`` when the machine does not halt in
+    ``max_cycles`` cycles (a diverging program or a deadlocked pipeline --
+    the latter is a model bug the test-suite wants loudly).
+    """
+    if reset:
+        machine.reset(dmem)
+    outputs: list[CycleOutput] = []
+    commits: list[CommitRecord] = []
+    for cycle in range(max_cycles):
+        pc = machine.poll_fetch()
+        bundle = None
+        if pc is not None:
+            inst = program.fetch(pc)
+            predicted = None
+            if inst.op == Opcode.BRANCH:
+                predicted = predictor(pc, machine.fetch_occurrence(pc))
+            bundle = FetchBundle(pc=pc, inst=inst, predicted_taken=predicted)
+        out = machine.step(bundle)
+        outputs.append(out)
+        commits.extend(out.commits)
+        if out.halted:
+            return ConcreteRun(outputs, commits, cycle + 1, True)
+    raise RuntimeError(
+        f"machine did not halt within {max_cycles} cycles "
+        f"(program: {program!r})"
+    )

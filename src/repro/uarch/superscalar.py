@@ -1,0 +1,42 @@
+"""Ridecore-like superscalar out-of-order core.
+
+Table 1: "35 instructions in RV32IM; 6-stage pipeline, 8-entry ROB, commit
+bandwidth is 2 inst/cycle".  The property that matters to the verification
+scheme is the superscalar commit port: the shadow logic must break the
+atomicity of the contract-constraint check and buffer partially matched ISA
+traces (§5.3, "Supporting Superscalar Processors").  We model the RV32IM
+flavour with the ``MUL`` instruction (whose operands the constant-time
+contract observes) on top of the shared OoO datapath.
+"""
+
+from __future__ import annotations
+
+from repro.isa.params import MachineParams
+from repro.uarch.config import CoreConfig, Defense
+from repro.uarch.ooo_base import OoOCore
+
+
+class SuperscalarCore(OoOCore):
+    """Ridecore-like core: commit width 2, multiplier, 8-entry ROB."""
+
+    name = "Ridecore-like"
+
+
+def ridecore(
+    params: MachineParams | None = None,
+    rob_size: int = 8,
+    commit_width: int = 2,
+    defense: Defense = Defense.NONE,
+    mul_latency: int = 2,
+) -> SuperscalarCore:
+    """Build the Ridecore-like superscalar core (insecure by default)."""
+    if params is None:
+        params = MachineParams()
+    config = CoreConfig(
+        params=params,
+        rob_size=rob_size,
+        commit_width=commit_width,
+        defense=defense,
+        mul_latency=mul_latency,
+    )
+    return SuperscalarCore(config)

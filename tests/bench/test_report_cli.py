@@ -1,0 +1,20 @@
+"""Smoke test for the consolidated report CLI."""
+
+from __future__ import annotations
+
+from repro.bench import report
+
+
+def test_report_cli_runs_the_inventory_only(capsys):
+    code = report.main(["--skip", "table2,table3,fig2,hunt,ablation"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "total evaluation time" in out
+
+
+def test_report_cli_rejects_unknown_scale():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        report.main(["--scale", "galactic"])

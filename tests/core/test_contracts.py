@@ -1,0 +1,64 @@
+"""Tests for the contract observation functions."""
+
+from __future__ import annotations
+
+from repro.core.contracts import CONTRACTS, constant_time, sandboxing
+from repro.events import CommitRecord
+from repro.isa.instruction import HALT, alu, branch, lh, load, loadimm, mul
+
+
+def _record(inst, wb=None, addr=None, taken=None, mul_ops=None, exception=None):
+    return CommitRecord(
+        seq=0, pc=0, inst=inst, wb=wb, addr=addr, taken=taken,
+        mul_ops=mul_ops, exception=exception,
+    )
+
+
+def test_sandboxing_observes_load_writebacks():
+    contract = sandboxing()
+    assert contract.isa_obs(_record(load(1, 0, 3), wb=2, addr=3)) == ("load", 2)
+    assert contract.isa_obs(_record(lh(1, 0, 4), wb=1, addr=4)) == ("load", 1)
+
+
+def test_sandboxing_ignores_non_loads():
+    contract = sandboxing()
+    assert contract.isa_obs(_record(alu(1, 1, 2), wb=3)) is None
+    assert contract.isa_obs(_record(branch(0, 2), taken=True)) is None
+    assert contract.isa_obs(_record(loadimm(1, 2), wb=2)) is None
+    assert contract.isa_obs(_record(HALT)) is None
+    assert contract.isa_obs(_record(mul(1, 1, 2), wb=2, mul_ops=(1, 2))) is None
+
+
+def test_sandboxing_observes_traps():
+    contract = sandboxing()
+    obs = contract.isa_obs(_record(lh(1, 0, 5), addr=5, exception="misaligned"))
+    assert obs == ("exc", "misaligned")
+
+
+def test_constant_time_observes_addresses_conditions_and_mul_operands():
+    contract = constant_time()
+    assert contract.isa_obs(_record(load(1, 0, 3), wb=2, addr=3)) == ("addr", 3)
+    assert contract.isa_obs(_record(branch(0, 2), taken=True)) == ("branch", True)
+    assert contract.isa_obs(_record(mul(1, 1, 2), wb=2, mul_ops=(1, 2))) == (
+        "mul",
+        (1, 2),
+    )
+
+
+def test_constant_time_does_not_observe_load_data():
+    """Secrets may flow into registers under constant-time."""
+    contract = constant_time()
+    obs_a = contract.isa_obs(_record(load(1, 0, 3), wb=1, addr=3))
+    obs_b = contract.isa_obs(_record(load(1, 0, 3), wb=2, addr=3))
+    assert obs_a == obs_b  # same address, different data: indistinguishable
+
+
+def test_constant_time_trap_includes_the_faulting_address():
+    contract = constant_time()
+    obs = contract.isa_obs(_record(lh(1, 0, 5), addr=5, exception="misaligned"))
+    assert obs == ("exc", "misaligned", 5)
+
+
+def test_contract_registry():
+    assert set(CONTRACTS) == {"sandboxing", "constant-time"}
+    assert CONTRACTS["sandboxing"]().name == "sandboxing"

@@ -1,0 +1,120 @@
+"""Tests for the verification products (Fig. 1a and 1b as state machines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assumptions import no_misaligned_accesses
+from repro.core.contracts import sandboxing
+from repro.core.products import BaselineProduct, ShadowProduct
+from repro.events import FetchBundle
+from repro.isa.instruction import HALT, branch, lh, load, loadimm
+from repro.isa.params import MachineParams
+from repro.isa.program import Program
+from repro.uarch.boom import boom, boom_params
+from repro.uarch.config import Defense
+from repro.uarch.simple_ooo import simple_ooo
+
+PARAMS = MachineParams(value_bits=2)
+
+
+def _drive(product, program, predictor=lambda pc, occ: False, max_cycles=60):
+    """Drive a product on a concrete program until it settles."""
+    results = []
+    for _ in range(max_cycles):
+        bundles = [None] * len(product.machines)
+        for req in product.fetch_requests():
+            inst = program.fetch(req.pc)
+            predicted = None
+            if inst.op.name == "BRANCH":
+                predicted = predictor(req.pc, req.occurrence)
+            bundles[req.slot] = FetchBundle(req.pc, inst, predicted)
+        result = product.step_cycle(bundles)
+        results.append(result)
+        if result.failed or result.pruned or product.quiescent():
+            return results
+    raise AssertionError("product did not settle")
+
+
+GADGET = Program([branch(0, 3), load(1, 0, 3), load(2, 1, 0)])
+BENIGN = Program([loadimm(1, 2), load(2, 1, 0), HALT])
+
+
+@pytest.mark.parametrize("product_cls", [ShadowProduct, BaselineProduct])
+def test_products_fail_on_the_gadget(product_cls):
+    product = product_cls(
+        lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+    )
+    product.reset(((0, 0, 0, 1), (0, 0, 0, 2)))
+    results = _drive(product, GADGET)
+    assert results[-1].failed and results[-1].reason == "leakage"
+
+
+@pytest.mark.parametrize("product_cls", [ShadowProduct, BaselineProduct])
+def test_products_settle_quiescent_on_benign_programs(product_cls):
+    product = product_cls(
+        lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+    )
+    product.reset(((0, 0, 0, 1), (0, 0, 0, 2)))
+    results = _drive(product, BENIGN)
+    assert not results[-1].failed and not results[-1].pruned
+    assert product.quiescent()
+
+
+@pytest.mark.parametrize("product_cls", [ShadowProduct, BaselineProduct])
+def test_products_prune_contract_invalid_programs(product_cls):
+    # A committed load of the differing secret: ISA observations mismatch.
+    invalid = Program([load(1, 0, 3), HALT])
+    product = product_cls(
+        lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+    )
+    product.reset(((0, 0, 0, 1), (0, 0, 0, 2)))
+    results = _drive(product, invalid)
+    assert results[-1].pruned and results[-1].reason == "contract"
+
+
+@pytest.mark.parametrize("product_cls", [ShadowProduct, BaselineProduct])
+def test_assumptions_prune_excluded_behaviours(product_cls):
+    program = Program([lh(1, 0, 5), load(2, 1, 0)])
+    product = product_cls(
+        lambda: boom(params=boom_params()),
+        sandboxing(),
+        assumptions=(no_misaligned_accesses(),),
+    )
+    product.reset(((0, 0, 1, 0), (0, 0, 2, 0)))
+    results = _drive(product, program)
+    assert results[-1].pruned
+    assert results[-1].reason == "excluded:no-misaligned"
+
+
+def test_shadow_product_snapshot_roundtrip_mid_drain():
+    product = ShadowProduct(
+        lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+    )
+    product.reset(((0, 0, 0, 1), (0, 0, 0, 2)))
+    snap = None
+    for _ in range(40):
+        bundles = [None] * 2
+        for req in product.fetch_requests():
+            inst = GADGET.fetch(req.pc)
+            predicted = False if inst.op.name == "BRANCH" else None
+            bundles[req.slot] = FetchBundle(req.pc, inst, predicted)
+        result = product.step_cycle(bundles)
+        if product.shadow.phase == 2 and snap is None:
+            snap = product.snapshot()
+        if result.failed:
+            break
+    assert snap is not None
+    product.restore(snap)
+    assert product.shadow.phase == 2
+    assert product.snapshot() == snap
+
+
+def test_baseline_isa_machines_run_ahead_of_the_cores():
+    product = BaselineProduct(
+        lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+    )
+    product.reset(((0, 0, 0, 1), (0, 0, 0, 1)))
+    _drive(product, BENIGN)
+    # Both ISA machines halted at or before the OoO pair (1 inst/cycle).
+    assert product.machines[0].halted and product.machines[1].halted

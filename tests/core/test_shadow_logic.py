@@ -1,0 +1,137 @@
+"""Unit tests for the two-phase Contract Shadow Logic (Listing 1)."""
+
+from __future__ import annotations
+
+from repro.core.contracts import sandboxing
+from repro.core.shadow import ContractShadowLogic
+from repro.events import CommitRecord, CycleOutput
+from repro.isa.instruction import HALT, load
+
+BOTH = (True, True)
+
+
+def _out(commits=(), membus=(), halted=False):
+    return CycleOutput(commits=tuple(commits), membus=tuple(membus), halted=halted)
+
+
+def _load_commit(seq, wb):
+    inst = load(1, 0, 0)
+    return CommitRecord(
+        seq=seq, pc=0, inst=inst, wb=wb, addr=0, taken=None, mul_ops=None,
+        exception=None,
+    )
+
+
+def _halt_commit(seq):
+    return CommitRecord(
+        seq=seq, pc=1, inst=HALT, wb=None, addr=None, taken=None,
+        mul_ops=None, exception=None,
+    )
+
+
+def test_phase1_no_deviation_stays_lockstep():
+    shadow = ContractShadowLogic(sandboxing())
+    verdict = shadow.on_cycle((_out(), _out()), (None, None), (None, None), BOTH)
+    assert not verdict.assume_violated and not verdict.assertion_failed
+    assert shadow.phase == ContractShadowLogic.PHASE_LOCKSTEP
+    assert shadow.pauses() == (False, False)
+
+
+def test_membus_deviation_enters_phase2_and_records_tails():
+    shadow = ContractShadowLogic(sandboxing())
+    verdict = shadow.on_cycle(
+        (_out(membus=(1,)), _out(membus=(2,))), (5, 7), (3, 3), BOTH
+    )
+    assert not verdict.assertion_failed  # drain must complete first
+    assert shadow.phase == ContractShadowLogic.PHASE_DRAIN
+    assert shadow.suppress_fetch()
+
+
+def test_commit_count_deviation_enters_phase2():
+    shadow = ContractShadowLogic(sandboxing())
+    shadow.on_cycle(
+        (_out(commits=[_load_commit(0, 1)]), _out()), (2, 2), (1, 0), BOTH
+    )
+    assert shadow.phase == ContractShadowLogic.PHASE_DRAIN
+
+
+def test_assertion_fires_once_both_sides_drain():
+    shadow = ContractShadowLogic(sandboxing())
+    shadow.on_cycle((_out(membus=(1,)), _out(membus=(2,))), (4, 4), (2, 2), BOTH)
+    # Still draining: oldest in flight (3) has not passed the tail (4).
+    verdict = shadow.on_cycle((_out(), _out()), (4, 4), (3, 3), BOTH)
+    assert not verdict.assertion_failed
+    # Both ROBs empty: everything in flight at the deviation has resolved.
+    verdict = shadow.on_cycle((_out(), _out()), (None, None), (None, None), BOTH)
+    assert verdict.assertion_failed
+
+
+def test_mismatched_isa_obs_violates_assumption():
+    shadow = ContractShadowLogic(sandboxing())
+    verdict = shadow.on_cycle(
+        (_out(commits=[_load_commit(0, 1)]), _out(commits=[_load_commit(0, 2)])),
+        (0, 0),
+        (None, None),
+        BOTH,
+    )
+    assert verdict.assume_violated
+
+
+def test_skewed_commits_match_across_cycles():
+    """Observations queue until the other side commits (synchronization)."""
+    shadow = ContractShadowLogic(sandboxing())
+    # Deviate first (commit-count mismatch) to reach phase 2.
+    shadow.on_cycle(
+        (_out(commits=[_load_commit(0, 1)]), _out()), (3, 3), (1, 0), BOTH
+    )
+    assert shadow.pauses() == (True, False)  # side 0 committed ahead
+    # Side 1 catches up with an equal observation: queues drain, no violation.
+    verdict = shadow.on_cycle(
+        (_out(), _out(commits=[_load_commit(0, 1)])), (3, 3), (1, 1),
+        (False, True),
+    )
+    assert not verdict.assume_violated
+    assert shadow.pauses() == (False, False)
+
+
+def test_skewed_commits_detect_mismatch_after_realignment():
+    shadow = ContractShadowLogic(sandboxing())
+    shadow.on_cycle(
+        (_out(commits=[_load_commit(0, 1)]), _out()), (3, 3), (1, 0), BOTH
+    )
+    verdict = shadow.on_cycle(
+        (_out(), _out(commits=[_load_commit(0, 2)])), (3, 3), (1, 1),
+        (False, True),
+    )
+    assert verdict.assume_violated
+
+
+def test_unobserved_commits_do_not_queue():
+    """HALT commits carry no sandboxing observation."""
+    shadow = ContractShadowLogic(sandboxing())
+    shadow.on_cycle(
+        (_out(commits=[_halt_commit(0)]), _out(commits=[_halt_commit(0)])),
+        (0, 0),
+        (None, None),
+        BOTH,
+    )
+    assert shadow.pauses() == (False, False)
+
+
+def test_snapshot_roundtrip_preserves_phase_and_drain_targets():
+    shadow = ContractShadowLogic(sandboxing())
+    shadow.on_cycle((_out(membus=(1,)), _out(membus=(2,))), (9, 11), (5, 5), BOTH)
+    snap = shadow.snapshot((5, 5))
+    clone = ContractShadowLogic(sandboxing())
+    clone.restore(snap, (5, 5))
+    assert clone.phase == shadow.phase
+    assert clone.snapshot((5, 5)) == snap
+
+
+def test_snapshot_rebasing_is_consistent():
+    """Rebased snapshots of shifted executions compare equal."""
+    shadow_a = ContractShadowLogic(sandboxing())
+    shadow_a.on_cycle((_out(membus=(1,)), _out(membus=(2,))), (4, 4), (2, 2), BOTH)
+    shadow_b = ContractShadowLogic(sandboxing())
+    shadow_b.on_cycle((_out(membus=(1,)), _out(membus=(2,))), (14, 14), (12, 12), BOTH)
+    assert shadow_a.snapshot((2, 2)) == shadow_b.snapshot((12, 12))

@@ -1,0 +1,108 @@
+"""Property-based tests for the two-phase shadow logic.
+
+Hypothesis drives the shadow logic with arbitrary commit/bus event
+sequences and checks its protocol invariants:
+
+- the leakage assertion never fires in phase 1;
+- phase transitions are monotonic (once draining, never back to lockstep);
+- at most one side is ever paused, and only in phase 2;
+- pending observation queues never both stay non-empty after matching;
+- snapshot/restore is lossless at any point of any run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.contracts import sandboxing
+from repro.core.shadow import ContractShadowLogic
+from repro.events import CommitRecord, CycleOutput
+from repro.isa.instruction import load
+
+# An event script drives one side: each element decides (commit?, wb, bus).
+side_cycle = st.tuples(
+    st.booleans(),
+    st.integers(0, 1),
+    st.sampled_from([(), (1,), (2,)]),
+)
+script = st.lists(st.tuples(side_cycle, side_cycle), min_size=1, max_size=12)
+
+
+def _output(side_plan, seq):
+    commits = ()
+    has_commit, wb, bus = side_plan
+    if has_commit:
+        record = CommitRecord(
+            seq=seq,
+            pc=0,
+            inst=load(1, 0, 0),
+            wb=wb,
+            addr=0,
+            taken=None,
+            mul_ops=None,
+            exception=None,
+        )
+        commits = (record,)
+    return CycleOutput(commits=commits, membus=bus, halted=False)
+
+
+@settings(max_examples=300, deadline=None)
+@given(plan=script)
+def test_protocol_invariants_hold_on_arbitrary_event_streams(plan):
+    shadow = ContractShadowLogic(sandboxing())
+    seqs = [0, 0]
+    phases = [shadow.phase]
+    for left_plan, right_plan in plan:
+        pauses = shadow.pauses()
+        assert not (pauses[0] and pauses[1])  # never both paused
+        if shadow.phase == ContractShadowLogic.PHASE_LOCKSTEP:
+            assert pauses == (False, False)
+        outputs = []
+        stepped = []
+        for side, side_plan in enumerate((left_plan, right_plan)):
+            if pauses[side]:
+                outputs.append(CycleOutput((), (), False))
+                stepped.append(False)
+                continue
+            outputs.append(_output(side_plan, seqs[side]))
+            if side_plan[0]:
+                seqs[side] += 1
+            stepped.append(True)
+        verdict = shadow.on_cycle(
+            (outputs[0], outputs[1]),
+            (seqs[0], seqs[1]),
+            (None, None),  # empty ROBs: drains resolve immediately
+            (stepped[0], stepped[1]),
+        )
+        phases.append(shadow.phase)
+        if verdict.assertion_failed:
+            assert shadow.phase == ContractShadowLogic.PHASE_DRAIN
+            break
+        if verdict.assume_violated:
+            break
+        # After matching, at most one queue is non-empty.
+        assert not (shadow._pending[0] and shadow._pending[1])
+    assert phases == sorted(phases)  # phase is monotone
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=script, cut=st.integers(0, 11))
+def test_snapshot_restore_is_lossless_mid_protocol(plan, cut):
+    shadow = ContractShadowLogic(sandboxing())
+    seqs = [0, 0]
+    snap = None
+    for index, (left_plan, right_plan) in enumerate(plan):
+        if index == cut:
+            snap = shadow.snapshot((0, 0))
+        outputs = (_output(left_plan, seqs[0]), _output(right_plan, seqs[1]))
+        seqs[0] += left_plan[0]
+        seqs[1] += right_plan[0]
+        verdict = shadow.on_cycle(
+            outputs, (seqs[0], seqs[1]), (None, None), (True, True)
+        )
+        if verdict.assume_violated or verdict.assertion_failed:
+            break
+    if snap is not None:
+        clone = ContractShadowLogic(sandboxing())
+        clone.restore(snap, (0, 0))
+        assert clone.snapshot((0, 0)) == snap

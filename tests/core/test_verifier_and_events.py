@@ -1,0 +1,91 @@
+"""Tests for the verification task plumbing and the event records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.contracts import sandboxing
+from repro.core.products import BaselineProduct, ShadowProduct
+from repro.core.verifier import VerificationTask
+from repro.events import CommitRecord, CycleOutput
+from repro.isa.encoding import space_tiny
+from repro.isa.instruction import load
+from repro.isa.params import MachineParams
+from repro.mc.explorer import Root
+from repro.mc.result import Counterexample, Outcome, SearchStats
+from repro.mc.env import Environment
+from repro.uarch.config import Defense
+from repro.uarch.simple_ooo import simple_ooo
+
+PARAMS = MachineParams(imem_size=3)
+
+
+def _task(**overrides):
+    base = dict(
+        core_factory=lambda: simple_ooo(Defense.NONE, params=PARAMS),
+        contract=sandboxing(),
+        space=space_tiny(),
+    )
+    base.update(overrides)
+    return VerificationTask(**base)
+
+
+def test_build_product_schemes():
+    assert isinstance(_task(scheme="shadow").build_product(), ShadowProduct)
+    assert isinstance(_task(scheme="baseline").build_product(), BaselineProduct)
+    with pytest.raises(ValueError):
+        _task(scheme="quantum").build_product()
+
+
+def test_build_roots_uses_secret_mode():
+    all_roots = _task(secret_mode="all").build_roots()
+    single_roots = _task(secret_mode="single").build_roots()
+    assert len(all_roots) == 6 and len(single_roots) == 2
+
+
+def test_build_roots_override():
+    roots = [Root("only", ((0, 0, 0, 0), (0, 0, 0, 1)))]
+    assert _task(roots=roots).build_roots() == roots
+
+
+def test_gate_fetch_knob_reaches_the_shadow_logic():
+    gated = _task(gate_fetch=True).build_product()
+    ungated = _task(gate_fetch=False).build_product()
+    assert gated.shadow.gate_fetch is True
+    assert ungated.shadow.gate_fetch is False
+
+
+def test_cycle_output_uarch_obs():
+    record = CommitRecord(
+        seq=0, pc=0, inst=load(1, 0, 0), wb=1, addr=0, taken=None,
+        mul_ops=None, exception=None,
+    )
+    out = CycleOutput(commits=(record,), membus=(3, 1), halted=False)
+    assert out.uarch_obs == ((3, 1), 1)
+    empty = CycleOutput(commits=(), membus=(), halted=True)
+    assert empty.uarch_obs == ((), 0)
+
+
+def test_outcome_summary_and_flags():
+    stats = SearchStats(states=10, transitions=20)
+    proved = Outcome(kind="proved", elapsed=1.5, stats=stats)
+    assert proved.proved and not proved.attacked and not proved.timed_out
+    assert "proved" in proved.summary() and "10 states" in proved.summary()
+    noted = Outcome(kind="timeout", elapsed=1.0, stats=stats, note="budget")
+    assert "[budget]" in noted.summary()
+
+
+def test_counterexample_program_fills_unfetched_slots():
+    env = Environment.empty(3).with_slots({0: load(1, 0, 3)})
+    cex = Counterexample(
+        root_label="r",
+        dmem_pair=((0, 0, 0, 0), (0, 0, 0, 1)),
+        env=env,
+        depth=4,
+        reason="leakage",
+    )
+    program = cex.program
+    assert len(program) == 3
+    assert program.fetch(0) == load(1, 0, 3)
+    text = cex.describe()
+    assert "cycle 4" in text and "load r1, 3(r0)" in text

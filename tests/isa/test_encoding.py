@@ -1,0 +1,74 @@
+"""Tests for encoding spaces (the symbolic instruction universes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.encoding import (
+    PRESETS,
+    EncodingSpace,
+    space_boom,
+    space_dom,
+    space_fig2,
+    space_mul,
+    space_small,
+    space_tiny,
+)
+from repro.isa.instruction import HALT, Opcode
+
+
+@pytest.mark.parametrize("name, factory", sorted(PRESETS.items()))
+def test_presets_enumerate_nonempty_universes(name, factory):
+    space = factory()
+    universe = space.instructions()
+    assert universe, name
+    assert universe[0] == HALT  # HALT first: DFS retires short programs early
+    assert len(set(universe)) == len(universe)  # no duplicates
+
+
+def test_size_matches_enumeration():
+    space = space_tiny()
+    assert space.size() == len(space.instructions())
+
+
+def test_empty_ranges_exclude_opcodes():
+    space = EncodingSpace(load_rd=(1,), load_rs=(0,), load_imm=(0,))
+    ops = {inst.op for inst in space.instructions()}
+    assert ops == {Opcode.HALT, Opcode.LOAD}
+
+
+def test_halt_can_be_excluded():
+    space = EncodingSpace(halt=False, load_rd=(1,), load_rs=(0,), load_imm=(0,))
+    assert HALT not in space.instructions()
+
+
+def test_tiny_space_contains_the_spectre_gadget():
+    """The canonical attack instructions must be expressible."""
+    universe = set(space_tiny().instructions())
+    from repro.isa.instruction import branch, load
+
+    assert branch(0, 2) in universe
+    assert load(1, 0, 3) in universe  # transient secret load
+    assert load(2, 1, 0) in universe  # transient transmitter
+
+
+def test_boom_space_contains_exception_sources():
+    universe = space_boom().instructions()
+    ops = {inst.op for inst in universe}
+    assert Opcode.LH in ops and Opcode.LOAD in ops and Opcode.BRANCH in ops
+    lh_imms = {inst.c for inst in universe if inst.op == Opcode.LH}
+    assert any(imm % 2 == 1 for imm in lh_imms)  # a misaligned byte address
+
+
+def test_mul_space_contains_multiplier():
+    ops = {inst.op for inst in space_mul().instructions()}
+    assert Opcode.MUL in ops
+
+
+def test_dom_space_is_load_branch_only():
+    ops = {inst.op for inst in space_dom().instructions()}
+    assert ops == {Opcode.HALT, Opcode.LOAD, Opcode.BRANCH}
+
+
+def test_fig2_space_scales_with_register_knob():
+    assert space_fig2(extra_reg=True).size() > space_fig2(extra_reg=False).size()

@@ -1,0 +1,68 @@
+"""Tests for instruction definitions and disassembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instruction import (
+    HALT,
+    AluOp,
+    BranchCond,
+    Instruction,
+    Opcode,
+    alu,
+    branch,
+    disassemble,
+    is_branch,
+    is_memory,
+    lh,
+    load,
+    loadimm,
+    mul,
+)
+
+
+def test_builders_produce_expected_opcodes():
+    assert loadimm(1, 2).op == Opcode.LOADIMM
+    assert alu(1, 2, 3).op == Opcode.ALU
+    assert load(1, 0).op == Opcode.LOAD
+    assert lh(1, 0, 5).op == Opcode.LH
+    assert branch(0, 2).op == Opcode.BRANCH
+    assert mul(1, 2, 3).op == Opcode.MUL
+    assert HALT.op == Opcode.HALT
+
+
+def test_instructions_are_hashable_and_comparable():
+    assert load(1, 0, 3) == load(1, 0, 3)
+    assert load(1, 0, 3) != load(2, 0, 3)
+    assert len({load(1, 0, 3), load(1, 0, 3), HALT}) == 2
+
+
+def test_is_memory_classification():
+    assert is_memory(load(1, 0))
+    assert is_memory(lh(1, 0))
+    assert not is_memory(alu(1, 1, 1))
+    assert not is_memory(HALT)
+
+
+def test_is_branch_classification():
+    assert is_branch(branch(0, 2))
+    assert not is_branch(load(1, 0))
+
+
+@pytest.mark.parametrize(
+    "inst, text",
+    [
+        (loadimm(1, 3), "loadimm r1, 3"),
+        (alu(1, 2, 3), "add r1, r2, r3"),
+        (alu(1, 2, 3, AluOp.XOR), "xor r1, r2, r3"),
+        (load(2, 1, 3), "load r2, 3(r1)"),
+        (lh(1, 0, 5), "lh r1, 5(r0)"),
+        (branch(0, 2), "beqz r0, +2"),
+        (branch(1, -1, BranchCond.NEZ), "bnez r1, -1"),
+        (mul(1, 1, 2), "mul r1, r1, r2"),
+        (HALT, "halt"),
+    ],
+)
+def test_disassembly(inst: Instruction, text: str):
+    assert disassemble(inst) == text

@@ -1,0 +1,111 @@
+"""Tests for the single-cycle ISA machine and Program container."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import space_small
+from repro.isa.instruction import HALT, branch, load, loadimm
+from repro.isa.machine import IsaMachine
+from repro.isa.params import MachineParams
+from repro.isa.program import Program, random_memory, random_program
+
+PARAMS = MachineParams(value_bits=2)
+
+
+def test_program_fetch_out_of_range_is_halt():
+    program = Program([loadimm(1, 2)])
+    assert program.fetch(0) == loadimm(1, 2)
+    assert program.fetch(1) == HALT
+    assert program.fetch(-1) == HALT
+    assert program.fetch(99) == HALT
+
+
+def test_program_listing_contains_every_pc():
+    program = Program([loadimm(1, 2), HALT])
+    listing = program.listing()
+    assert "0: loadimm r1, 2" in listing and "1: halt" in listing
+
+
+def test_isa_machine_runs_one_instruction_per_cycle():
+    machine = IsaMachine(PARAMS)
+    program = Program([loadimm(1, 2), loadimm(2, 3), HALT])
+    records = machine.run(program, (0, 0, 0, 0))
+    assert [r.pc for r in records] == [0, 1, 2]
+    assert machine.halted
+
+
+def test_isa_machine_sequential_branch_semantics():
+    machine = IsaMachine(PARAMS)
+    # beqz r0 taken (r0 == 0): skips the load.
+    program = Program([branch(0, 2), load(1, 0, 3), HALT])
+    records = machine.run(program, (0, 0, 0, 1))
+    assert [r.pc for r in records] == [0, 2]
+    assert machine.regs[1] == 0  # the skipped load never executed
+
+
+def test_isa_machine_load_and_writeback():
+    machine = IsaMachine(PARAMS)
+    program = Program([load(1, 0, 3), HALT])
+    records = machine.run(program, (0, 0, 0, 3))
+    assert records[0].wb == 3 and records[0].addr == 3
+    assert machine.regs[1] == 3
+
+
+def test_isa_machine_trap_halts_without_writeback():
+    params = MachineParams(value_bits=2, wrap_addresses=False)
+    machine = IsaMachine(params)
+    program = Program([load(1, 0, 6), loadimm(2, 1)])
+    records = machine.run(program, (0, 0, 0, 0))
+    assert len(records) == 1
+    assert records[0].exception == "illegal" and records[0].wb is None
+    assert machine.regs[1] == 0
+
+
+def test_isa_machine_detects_divergence():
+    machine = IsaMachine(PARAMS)
+    program = Program([branch(0, 0)])  # beqz r0, +0: tight infinite loop
+    with pytest.raises(RuntimeError):
+        machine.run(program, (0, 0, 0, 0), max_cycles=50)
+
+
+def test_snapshot_restore_roundtrip_mid_program():
+    machine = IsaMachine(PARAMS)
+    program = Program([loadimm(1, 2), load(2, 1, 0), HALT])
+    machine.reset((1, 2, 3, 0))
+    machine.step_program = None
+    out1 = machine.step(_bundle(machine, program))
+    snap = machine.snapshot()
+    out2_first = machine.step(_bundle(machine, program))
+    machine.restore(snap)
+    out2_second = machine.step(_bundle(machine, program))
+    assert out2_first == out2_second
+    assert out1.commits[0].pc == 0
+
+
+def _bundle(machine, program):
+    from repro.events import FetchBundle
+
+    pc = machine.poll_fetch()
+    assert pc is not None
+    return FetchBundle(pc=pc, inst=program.fetch(pc), predicted_taken=None)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_random_program_draws_from_space(seed):
+    rng = random.Random(seed)
+    program = random_program(space_small(), 4, rng)
+    universe = set(space_small().instructions())
+    assert len(program) == 4
+    assert all(inst in universe for inst in program)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_random_memory_respects_value_domain(seed):
+    rng = random.Random(seed)
+    dmem = random_memory(PARAMS, rng)
+    assert len(dmem) == PARAMS.mem_size
+    assert all(0 <= v < PARAMS.value_domain for v in dmem)

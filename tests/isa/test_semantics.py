@@ -1,0 +1,129 @@
+"""Tests for the shared single-instruction executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import (
+    HALT,
+    AluOp,
+    BranchCond,
+    alu,
+    branch,
+    lh,
+    load,
+    loadimm,
+    mul,
+)
+from repro.isa.params import MachineParams
+from repro.isa.semantics import EXC_ILLEGAL, EXC_MISALIGNED, execute
+
+WRAP = MachineParams(n_regs=4, mem_size=4, n_public=2, value_bits=2)
+BOOM = MachineParams(
+    n_regs=4, mem_size=4, n_public=2, value_bits=2, wrap_addresses=False
+)
+DMEM = (1, 2, 3, 0)
+
+
+def test_halt_halts():
+    result = execute(HALT, 0, (0, 0, 0, 0), DMEM, WRAP)
+    assert result.halt and result.wb_reg is None
+
+
+def test_loadimm_masks_to_value_domain():
+    result = execute(loadimm(1, 7), 0, (0, 0, 0, 0), DMEM, WRAP)
+    assert result.wb_value == 7 & 3
+
+
+def test_alu_add_and_xor():
+    regs = (0, 3, 2, 0)
+    assert execute(alu(1, 1, 2), 0, regs, DMEM, WRAP).wb_value == (3 + 2) & 3
+    assert execute(alu(1, 1, 2, AluOp.XOR), 0, regs, DMEM, WRAP).wb_value == 3 ^ 2
+
+
+def test_mul_reports_operands():
+    result = execute(mul(1, 1, 2), 0, (0, 3, 2, 0), DMEM, WRAP)
+    assert result.wb_value == (3 * 2) & 3
+    assert result.mul_ops == (3, 2)
+
+
+def test_branch_eqz_taken_and_target():
+    result = execute(branch(0, 2), 5, (0, 1, 0, 0), DMEM, WRAP)
+    assert result.taken is True and result.target == 7
+
+
+def test_branch_nez_not_taken_falls_through():
+    result = execute(branch(0, 2, BranchCond.NEZ), 5, (0, 1, 0, 0), DMEM, WRAP)
+    assert result.taken is False and result.target == 6
+
+
+def test_load_wraps_addresses_on_wrap_cores():
+    result = execute(load(1, 1, 3), 0, (0, 2, 0, 0), DMEM, WRAP)
+    assert result.addr == 5 and result.mem_word == 1 and result.wb_value == DMEM[1]
+    assert result.exception is None
+
+
+def test_load_out_of_range_faults_on_boom():
+    result = execute(load(1, 1, 3), 0, (0, 2, 0, 0), DMEM, BOOM)
+    assert result.exception == EXC_ILLEGAL
+    assert result.halt and result.wb_value is None
+    assert result.transient_value == DMEM[5 % 4]  # physical wrap-around word
+
+
+def test_lh_even_address_reads_word():
+    result = execute(lh(1, 0, 4), 0, (0, 0, 0, 0), DMEM, BOOM)
+    assert result.exception is None and result.wb_value == DMEM[2]
+
+
+def test_lh_odd_address_is_misaligned_with_transient_value():
+    result = execute(lh(1, 0, 5), 0, (0, 0, 0, 0), DMEM, BOOM)
+    assert result.exception == EXC_MISALIGNED
+    assert result.transient_value == DMEM[2]  # the word a Meltdown forward leaks
+
+
+def test_lh_beyond_range_is_illegal():
+    result = execute(lh(1, 0, 8), 0, (0, 0, 0, 0), DMEM, BOOM)
+    assert result.exception == EXC_ILLEGAL
+
+
+@given(
+    rs=st.integers(0, 3),
+    imm=st.integers(0, 7),
+    value=st.integers(0, 3),
+)
+def test_wrap_loads_never_fault(rs, imm, value):
+    regs = tuple(value if r == rs else 0 for r in range(4))
+    result = execute(load(1, rs, imm), 0, regs, DMEM, WRAP)
+    assert result.exception is None
+    assert 0 <= result.mem_word < WRAP.mem_size
+    assert result.wb_value == DMEM[result.mem_word]
+
+
+@given(
+    op=st.sampled_from([loadimm(1, 2), alu(2, 1, 3), mul(3, 1, 2), load(1, 0, 1)]),
+    regs=st.tuples(*[st.integers(0, 3)] * 4),
+)
+def test_writeback_values_stay_in_domain(op, regs):
+    result = execute(op, 0, regs, DMEM, WRAP)
+    if result.wb_value is not None:
+        assert 0 <= result.wb_value < WRAP.value_domain
+
+
+@given(
+    pc=st.integers(0, 6),
+    offset=st.integers(-3, 3),
+    cond_value=st.integers(0, 3),
+)
+def test_branch_target_is_fallthrough_or_offset(pc, offset, cond_value):
+    regs = (cond_value, 0, 0, 0)
+    result = execute(branch(0, offset), pc, regs, DMEM, WRAP)
+    assert result.target in (pc + 1, pc + offset)
+    assert result.taken == (cond_value == 0)
+
+
+def test_unknown_params_validation():
+    with pytest.raises(ValueError):
+        MachineParams(n_public=9, mem_size=4)
+    with pytest.raises(ValueError):
+        MachineParams(value_bits=0)

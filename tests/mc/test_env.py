@@ -1,0 +1,55 @@
+"""Tests for the symbolic environment."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import HALT, load, loadimm
+from repro.mc.env import Environment
+
+
+def test_empty_environment_is_fully_symbolic():
+    env = Environment.empty(3)
+    assert env.imem == (None, None, None)
+    assert env.slot(0) is None
+    assert env.slot(3) == HALT  # out of range = implicit HALT
+    assert env.slot(-1) == HALT
+
+
+def test_with_slots_is_persistent():
+    env = Environment.empty(3)
+    env2 = env.with_slots({1: loadimm(1, 2)})
+    assert env.slot(1) is None
+    assert env2.slot(1) == loadimm(1, 2)
+
+
+def test_predictions_are_shared_by_key():
+    env = Environment.empty(2).with_predictions({(0, 0): True, (0, 1): False})
+    assert env.prediction((0, 0)) is True
+    assert env.prediction((0, 1)) is False
+    assert env.prediction((1, 0)) is None
+
+
+def test_program_fills_unfetched_slots_with_halt():
+    env = Environment.empty(3).with_slots({0: load(1, 0, 3)})
+    program = env.program()
+    assert program.instructions == (load(1, 0, 3), HALT, HALT)
+
+
+def test_environments_hash_and_compare_structurally():
+    env_a = Environment.empty(2).with_slots({0: HALT}).with_predictions({(0, 0): True})
+    env_b = Environment.empty(2).with_slots({0: HALT}).with_predictions({(0, 0): True})
+    assert env_a == env_b and hash(env_a) == hash(env_b)
+
+
+@given(
+    slots=st.dictionaries(st.integers(0, 3), st.sampled_from([HALT, loadimm(1, 1)])),
+    preds=st.dictionaries(
+        st.tuples(st.integers(0, 3), st.integers(0, 2)), st.booleans()
+    ),
+)
+def test_extension_order_does_not_matter(slots, preds):
+    env = Environment.empty(4)
+    one = env.with_slots(slots).with_predictions(preds)
+    two = env.with_predictions(preds).with_slots(slots)
+    assert one == two

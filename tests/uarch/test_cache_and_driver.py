@@ -1,0 +1,121 @@
+"""Tests for the data cache, the concrete driver and core configs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import HALT, load, loadimm
+from repro.isa.params import MachineParams
+from repro.isa.program import Program
+from repro.uarch.cache import DataCache
+from repro.uarch.config import CacheConfig, CoreConfig, Defense
+from repro.uarch.driver import (
+    always_not_taken,
+    always_taken,
+    run_concrete,
+    seeded_predictor,
+)
+from repro.uarch.simple_ooo import simple_ooo
+
+
+def test_cache_hit_after_fill():
+    cache = DataCache(CacheConfig(n_sets=1, block_words=2))
+    assert not cache.hit(2)
+    cache.fill(2)
+    assert cache.hit(2) and cache.hit(3)  # same line
+    assert not cache.hit(0)
+
+
+def test_direct_mapped_eviction():
+    cache = DataCache(CacheConfig(n_sets=1, block_words=2))
+    cache.fill(0)
+    cache.fill(2)  # evicts line {0,1}
+    assert cache.hit(2) and not cache.hit(0)
+
+
+def test_two_sets_hold_two_lines():
+    cache = DataCache(CacheConfig(n_sets=2, block_words=2))
+    cache.fill(0)
+    cache.fill(2)
+    assert cache.hit(0) and cache.hit(2)
+
+
+def test_cache_snapshot_roundtrip():
+    cache = DataCache(CacheConfig(n_sets=2, block_words=2))
+    cache.fill(2)
+    snap = cache.snapshot()
+    cache.fill(0)
+    cache.restore(snap)
+    assert cache.hit(2) and not cache.hit(0)
+
+
+@given(
+    addr=st.integers(0, 15),
+    n_sets=st.integers(1, 4),
+    block=st.sampled_from([1, 2, 4]),
+)
+def test_fill_always_makes_the_word_hit(addr, n_sets, block):
+    cache = DataCache(CacheConfig(n_sets=n_sets, block_words=block))
+    cache.fill(addr)
+    assert cache.hit(addr)
+
+
+def test_cache_timing_is_observable():
+    """A warmed line must serve faster than a cold one (the DoM channel)."""
+    params = MachineParams(value_bits=2, n_public=3)
+    program = Program([load(1, 0, 2), load(2, 0, 3), HALT])
+    core = simple_ooo(Defense.DOM_SPECTRE, params=params, rob_size=8)
+    run = run_concrete(core, program, (0, 0, 0, 0), always_not_taken)
+    # First load misses (bus event), second hits the same line (no event).
+    assert run.membus == (2,)
+
+
+def test_predictor_policies():
+    assert always_not_taken(0, 0) is False
+    assert always_taken(0, 0) is True
+    policy = seeded_predictor(42)
+    assert policy(3, 1) == policy(3, 1)  # deterministic per key
+
+
+def test_run_concrete_raises_on_divergence():
+    from repro.isa.instruction import branch
+
+    program = Program([branch(0, 0)])  # beqz r0, +0: infinite loop
+    core = simple_ooo(Defense.NONE, params=MachineParams())
+    with pytest.raises(RuntimeError):
+        run_concrete(core, program, (0, 0, 0, 0), max_cycles=100)
+
+
+def test_commit_cycles_accounting():
+    program = Program([loadimm(1, 1), HALT])
+    core = simple_ooo(Defense.NONE, params=MachineParams())
+    run = run_concrete(core, program, (0, 0, 0, 0))
+    assert len(run.commit_cycles) == len(run.commits) == 2
+    assert run.commit_cycles == tuple(sorted(run.commit_cycles))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CoreConfig(rob_size=0)
+    with pytest.raises(ValueError):
+        CoreConfig(commit_width=0)
+    with pytest.raises(ValueError):
+        CoreConfig(predictor="psychic")
+    with pytest.raises(ValueError):
+        CoreConfig(defense=Defense.DOM_SPECTRE)  # DoM requires a cache
+    with pytest.raises(ValueError):
+        CoreConfig(branch_latency=0)
+
+
+def test_core_rejects_wrong_memory_size():
+    core = simple_ooo(Defense.NONE, params=MachineParams(mem_size=4))
+    with pytest.raises(ValueError):
+        core.reset((0, 0))
+
+
+def test_boom_factory_rejects_wrapping_params():
+    from repro.uarch.boom import boom
+
+    with pytest.raises(ValueError):
+        boom(params=MachineParams(wrap_addresses=True))

@@ -1,0 +1,208 @@
+"""Focused pipeline-behaviour tests for the shared OoO core.
+
+The differential suite checks architectural equivalence; these tests pin
+down *microarchitectural* behaviours the security analysis depends on:
+transient execution windows, forwarding and defense hooks, bus visibility,
+squash recovery, snapshot canonicalization.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import FetchBundle
+from repro.isa.instruction import HALT, Opcode, branch, lh, load, loadimm
+from repro.isa.params import MachineParams
+from repro.isa.program import Program, random_memory, random_program
+from repro.isa.encoding import space_small
+from repro.uarch.boom import boom, boom_params
+from repro.uarch.config import Defense
+from repro.uarch.driver import (
+    always_not_taken,
+    run_concrete,
+    seeded_predictor,
+)
+from repro.uarch.simple_ooo import simple_ooo
+
+PARAMS = MachineParams(value_bits=2)
+
+SPECTRE_GADGET = Program([
+    branch(0, 3),    # beqz r0: architecturally taken; we predict not-taken
+    load(1, 0, 3),   # transient: loads the secret at address 3
+    load(2, 1, 0),   # transient: leaks the secret as a bus address
+])
+
+
+def test_transient_loads_reach_the_bus_on_insecure_core():
+    core = simple_ooo(Defense.NONE, params=PARAMS)
+    run = run_concrete(core, SPECTRE_GADGET, (0, 0, 0, 2), predictor=always_not_taken)
+    assert 3 in run.membus          # the transient secret load itself
+    assert 2 in run.membus          # its value, used as a transient address
+    # Architecturally nothing leaked: the loads never committed.
+    assert [r.inst.op for r in run.commits] == [Opcode.BRANCH, Opcode.HALT]
+
+
+def test_transient_membus_depends_on_secret_on_insecure_core():
+    runs = []
+    for secret in (1, 2):
+        core = simple_ooo(Defense.NONE, params=PARAMS)
+        runs.append(
+            run_concrete(core, SPECTRE_GADGET, (0, 0, 0, secret), always_not_taken)
+        )
+    assert runs[0].membus != runs[1].membus  # the leak the contract forbids
+
+
+@pytest.mark.parametrize(
+    "defense",
+    [Defense.NOFWD_FUTURISTIC, Defense.NOFWD_SPECTRE,
+     Defense.DELAY_FUTURISTIC, Defense.DELAY_SPECTRE],
+)
+def test_defenses_block_the_transient_transmitter(defense):
+    for secret in (1, 2):
+        core = simple_ooo(defense, params=PARAMS)
+        run = run_concrete(core, SPECTRE_GADGET, (0, 0, 0, secret), always_not_taken)
+        assert 2 not in run.membus and 1 not in run.membus, defense
+    # NoFwd still lets the (secret-independent) transient load itself issue;
+    # Delay blocks even that.
+    core = simple_ooo(Defense.DELAY_SPECTRE, params=PARAMS)
+    run = run_concrete(core, SPECTRE_GADGET, (0, 0, 0, 2), always_not_taken)
+    assert 3 not in run.membus
+
+
+def test_nofwd_futuristic_blocks_forwarding_but_not_execution():
+    core = simple_ooo(Defense.NOFWD_FUTURISTIC, params=PARAMS)
+    run = run_concrete(core, SPECTRE_GADGET, (0, 0, 0, 2), always_not_taken)
+    assert 3 in run.membus  # the first transient load executes...
+    assert 2 not in run.membus  # ...but its data never reaches a dependent
+
+
+def test_correctly_predicted_branch_keeps_the_pipeline_clean():
+    core = simple_ooo(Defense.NONE, params=PARAMS)
+    run = run_concrete(
+        core, SPECTRE_GADGET, (0, 0, 0, 2), predictor=lambda pc, occ: True
+    )
+    assert run.membus == ()  # predicted taken: the loads are never fetched
+
+
+def test_mispredict_squash_redirects_fetch():
+    program = Program([branch(0, 2), loadimm(1, 1), loadimm(2, 1)])
+    core = simple_ooo(Defense.NONE, params=PARAMS)
+    run = run_concrete(core, program, (0, 0, 0, 0), predictor=always_not_taken)
+    # Taken branch: only pc0 and pc2 commit; the wrong-path pc1 is squashed.
+    assert [r.pc for r in run.commits[:2]] == [0, 2]
+    assert core.regs[1] == 0 and core.regs[2] == 1
+
+
+def test_boom_faulting_load_forwards_transiently():
+    program = Program([lh(1, 0, 5), load(2, 1, 0)])  # misaligned -> secret
+    core = boom(params=boom_params())
+    run = run_concrete(core, program, (0, 0, 3, 0), predictor=always_not_taken)
+    assert 3 in run.membus  # the transient dependent used the secret (3)
+    assert run.commits[-1].exception == "misaligned"
+
+
+def test_boom_without_speculative_exceptions_blocks_the_forward():
+    program = Program([lh(1, 0, 5), load(2, 1, 0)])
+    core = boom(params=boom_params(), speculative_exceptions=False)
+    run = run_concrete(core, program, (0, 0, 3, 0), predictor=always_not_taken)
+    assert 3 not in run.membus
+    assert run.commits[-1].exception == "misaligned"
+
+
+def test_exception_events_are_reported_for_assumption_pruning():
+    program = Program([lh(1, 0, 5)])
+    core = boom(params=boom_params())
+    run = run_concrete(core, program, (0, 0, 0, 0), predictor=always_not_taken)
+    events = [e for out in run.outputs for e in out.events]
+    assert "misaligned" in events
+
+
+def test_mispredict_event_is_reported():
+    core = simple_ooo(Defense.NONE, params=PARAMS)
+    run = run_concrete(core, SPECTRE_GADGET, (0, 0, 0, 0), always_not_taken)
+    events = [e for out in run.outputs for e in out.events]
+    assert "mispredict" in events
+
+
+def test_rob_capacity_stalls_fetch():
+    params = MachineParams(value_bits=2, imem_size=8)
+    program = Program([load(1, 0, 0)] * 8)
+    core = simple_ooo(Defense.DELAY_FUTURISTIC, params=params, rob_size=2)
+    core.reset((0, 0, 0, 0))
+    occupancies = []
+    for _ in range(30):
+        pc = core.poll_fetch()
+        bundle = FetchBundle(pc, program.fetch(pc), None) if pc is not None else None
+        core.step(bundle)
+        occupancies.append(core.rob_occupancy)
+        if core.halted:
+            break
+    assert max(occupancies) <= 2
+
+
+def test_commit_width_two_commits_in_bursts():
+    from repro.uarch.superscalar import ridecore
+
+    program = Program([loadimm(1, 1), loadimm(2, 1), loadimm(3, 1)])
+    core = ridecore(params=PARAMS)
+    run = run_concrete(core, program, (0, 0, 0, 0), always_not_taken)
+    per_cycle = [len(out.commits) for out in run.outputs]
+    assert max(per_cycle) == 2  # the superscalar commit port is exercised
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 99_999))
+def test_snapshot_restore_is_transparent_mid_flight(seed):
+    """Restoring a mid-run snapshot reproduces the rest of the run."""
+    rng = random.Random(seed)
+    program = random_program(space_small(), 4, rng)
+    dmem = random_memory(PARAMS, rng)
+    predictor = seeded_predictor(seed)
+    core = simple_ooo(Defense.NONE, params=PARAMS)
+    baseline = run_concrete(core, program, dmem, predictor=predictor)
+    split = rng.randrange(1, baseline.cycles + 1)
+    core.reset(dmem)
+    for _ in range(split):
+        _drive_one(core, program, predictor)
+    snap = core.snapshot()
+    tail_a = [_drive_one(core, program, predictor) for _ in range(10)]
+    core.restore(snap)
+    tail_b = [_drive_one(core, program, predictor) for _ in range(10)]
+    # Snapshots are canonical *up to a sequence-number shift* (rebasing);
+    # everything else must replay identically.
+    assert [_drop_seqs(out) for out in tail_a] == [_drop_seqs(out) for out in tail_b]
+
+
+def _drop_seqs(out):
+    return out._replace(commits=tuple(r._replace(seq=0) for r in out.commits))
+
+
+def _drive_one(core, program, predictor):
+    pc = core.poll_fetch()
+    bundle = None
+    if pc is not None:
+        inst = program.fetch(pc)
+        predicted = None
+        if inst.op == Opcode.BRANCH:
+            predicted = predictor(pc, core.fetch_occurrence(pc))
+        bundle = FetchBundle(pc=pc, inst=inst, predicted_taken=predicted)
+    return core.step(bundle)
+
+
+def test_snapshot_rebasing_merges_shifted_states():
+    """States reached after different dispatch counts compare equal."""
+    core_a = simple_ooo(Defense.NONE, params=PARAMS)
+    core_b = simple_ooo(Defense.NONE, params=PARAMS)
+    short = Program([HALT])
+    long = Program([loadimm(1, 0), HALT])  # r1 <- 0 is architecturally idle
+    run_a = run_concrete(core_a, short, (0, 0, 0, 0))
+    run_b = run_concrete(core_b, long, (0, 0, 0, 0))
+    assert run_a.halted and run_b.halted
+    snap_a = core_a.snapshot()
+    snap_b = core_b.snapshot()
+    # Same architectural state, different dispatch history: the rebased
+    # snapshots differ only in the fetch pc (programs have different ends).
+    assert snap_a[4] == snap_b[4] == 0  # rebased next_seq
