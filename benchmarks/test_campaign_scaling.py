@@ -1,0 +1,79 @@
+"""Campaign scaling: the Table-2 grid, serial vs 4 worker processes.
+
+The paper's evaluation is a grid of independent verification tasks; the
+campaign scheduler (``repro.campaign``) shards each cell across its
+secret-pair roots and fans the whole grid over worker processes.  This
+benchmark runs the full model-checked Table-2 grid (shadow + baseline
+schemes, five designs) both ways and records the wall-clocks in
+``BENCH_campaign.json`` at the repository root.
+
+Asserted always: per-cell outcomes -- verdict, search statistics and
+counterexamples -- are identical between the serial path and the
+4-worker campaign (the determinism contract).  Asserted only on
+multi-core runners: the parallel grid completes in measurably less
+wall-clock than the serial one (on a single-CPU container the process
+pool can only add overhead, which the JSON records honestly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import table2
+from repro.bench.runner import run_units
+
+N_WORKERS = 4
+BENCH_RECORD = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+
+
+def test_campaign_scaling_table2_grid(scale):
+    units = table2.units(scale)
+    assert len(units) == 10  # 2 schemes x 5 designs
+
+    started = time.monotonic()
+    serial = run_units(units, n_workers=1, experiment=table2.EXPERIMENT)
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    parallel = run_units(
+        units, n_workers=N_WORKERS, experiment=table2.EXPERIMENT
+    )
+    parallel_s = time.monotonic() - started
+
+    cells = {}
+    for unit in units:
+        ser, par = serial[unit.key], parallel[unit.key]
+        assert par.kind == ser.kind, unit.key
+        assert par.stats == ser.stats, unit.key
+        assert par.counterexample == ser.counterexample, unit.key
+        cells["/".join(unit.key)] = ser.kind
+
+    record = {
+        "experiment": "table2-grid",
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "n_workers": N_WORKERS,
+        "n_units": len(units),
+        "n_shards": sum(len(u.task.build_roots()) for u in units),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "cells": cells,
+    }
+    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(
+        f"campaign scaling: serial {serial_s:.2f}s vs {N_WORKERS}-worker "
+        f"{parallel_s:.2f}s on {record['cpu_count']} CPUs "
+        f"({record['n_shards']} shards) -> {BENCH_RECORD.name}"
+    )
+
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_s < serial_s, (
+            f"{N_WORKERS}-worker campaign ({parallel_s:.2f}s) not faster "
+            f"than serial ({serial_s:.2f}s) on a "
+            f"{os.cpu_count()}-CPU runner"
+        )

@@ -11,16 +11,18 @@ run shows the paper's two qualitative findings:
 
 Usage::
 
-    python examples/defense_comparison.py [--dom]
+    python examples/defense_comparison.py [--dom] [--workers N]
 
 ``--dom`` additionally runs the (slower) Delay-on-Miss experiment, whose
 speculative-interference attack needs the larger 8-entry-ROB
-configuration.
+configuration.  ``--workers N`` fans the defense grid over N worker
+processes via the campaign scheduler (``repro.campaign``); the default
+of 1 is the serial reproducibility path, ``0`` means one per CPU.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.bench.configs import QUICK
 from repro.bench.table3 import DEFENSES, format_rows, run
@@ -28,10 +30,15 @@ from repro.uarch.config import Defense
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dom", action="store_true")
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
     defenses = [d for d in DEFENSES if d is not Defense.DOM_SPECTRE]
-    if "--dom" in sys.argv:
+    if args.dom:
         defenses.append(Defense.DOM_SPECTRE)
-    results = run(QUICK, defenses=defenses)
+    n_workers = None if args.workers == 0 else args.workers
+    results = run(QUICK, defenses=defenses, n_workers=n_workers)
     print(format_rows(results))
     print()
     attacks = [o for o in results.values() if o.attacked]

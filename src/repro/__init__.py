@@ -25,10 +25,50 @@ Typical use::
     outcome = verify(task)     # -> attack, with a replayable program
     print(outcome.counterexample.describe())
 
+Running campaigns / CI
+----------------------
+
+Bench grids and the secret-pair roots inside a single task are
+embarrassingly parallel; ``repro.campaign`` fans both across worker
+processes while keeping merged verdicts, counterexamples and search
+statistics bit-identical to the serial engine::
+
+    from repro import CampaignUnit, core_spec, run_campaign, verify_sharded
+
+    task = VerificationTask(
+        core_factory=core_spec("simple_ooo", defense=Defense.NONE,
+                               params=MachineParams(imem_size=3)),
+        contract=sandboxing(), space=space_tiny(),
+        limits=SearchLimits(timeout_s=60),
+    )
+    outcome = verify_sharded(task, n_workers=4)   # root-sharded search
+    results = run_campaign([CampaignUnit("demo", ("shadow", "SimpleOoO"),
+                                         task)], n_workers=4)
+
+``core_spec`` replaces ``lambda`` core factories with picklable registry
+references (see ``repro.campaign.registry``); ``n_workers=1`` is the
+serial reproducibility path, ``None`` means one worker per CPU.  The
+bench drivers (``repro.bench.table2`` / ``table3`` / ``boom_hunt``) and
+``python -m repro.bench.report --workers N --log out.jsonl`` ride the
+same scheduler; ``--from-log out.jsonl`` re-renders tables without
+re-running.  CI (``.github/workflows/ci.yml``) runs the tier-1 suite on
+Python 3.10-3.12 plus a 1-worker vs 4-worker mini-campaign
+(``python -m repro.campaign``) whose canonical JSONL logs must match.
+
 See README.md for the architecture overview, DESIGN.md for the system
 inventory and EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from repro.campaign import (
+    CampaignLog,
+    CampaignResult,
+    CampaignUnit,
+    CoreSpec,
+    core_spec,
+    register_core_factory,
+    run_campaign,
+    verify_sharded,
+)
 from repro.core.contracts import Contract, constant_time, sandboxing
 from repro.core.shadow import ContractShadowLogic
 from repro.core.verifier import VerificationTask, verify
@@ -59,8 +99,12 @@ __version__ = "1.0.0"
 __all__ = [
     "BoomLikeCore",
     "CacheConfig",
+    "CampaignLog",
+    "CampaignResult",
+    "CampaignUnit",
     "CommitRecord",
     "Contract",
+    "CoreSpec",
     "ContractShadowLogic",
     "CoreConfig",
     "Counterexample",
@@ -84,9 +128,12 @@ __all__ = [
     "boom",
     "boom_params",
     "constant_time",
+    "core_spec",
     "format_trace",
+    "register_core_factory",
     "replay",
     "ridecore",
+    "run_campaign",
     "sandboxing",
     "simple_ooo",
     "simple_ooo_s",
@@ -96,4 +143,5 @@ __all__ = [
     "space_small",
     "space_tiny",
     "verify",
+    "verify_sharded",
 ]

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.configs import BOOM_PARAMS, SPACE_BOOM, Scale
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import verify_sharded
 from repro.core.assumptions import (
     Assumption,
     no_illegal_accesses,
@@ -30,11 +32,10 @@ from repro.core.assumptions import (
     no_mispredicted_branches,
 )
 from repro.core.contracts import Contract
-from repro.core.verifier import VerificationTask, verify
+from repro.core.verifier import VerificationTask
 from repro.mc.explorer import SearchLimits
 from repro.mc.replay import replay
 from repro.mc.result import Outcome
-from repro.uarch.boom import boom
 
 #: Exclusion assumption per classified speculation source.
 EXCLUSIONS = {
@@ -69,20 +70,31 @@ def classify_source(task: VerificationTask, outcome: Outcome) -> str:
     return "unknown"
 
 
-def run(contract: Contract, scale: Scale, max_rounds: int = 4) -> list[HuntStep]:
-    """Run the iterative exclusion hunt for one contract."""
+def run(
+    contract: Contract,
+    scale: Scale,
+    max_rounds: int = 4,
+    *,
+    n_workers: int | None = 1,
+) -> list[HuntStep]:
+    """Run the iterative exclusion hunt for one contract.
+
+    Rounds are inherently sequential (each adds the previous round's
+    exclusion), but within a round the secret-pair roots shard across
+    ``n_workers`` worker processes (``1`` = the serial path).
+    """
     exclusions: list[Assumption] = []
     names: list[str] = []
     steps: list[HuntStep] = []
     for round_index in range(max_rounds):
         task = VerificationTask(
-            core_factory=lambda: boom(params=BOOM_PARAMS),
+            core_factory=core_spec("boom", params=BOOM_PARAMS),
             contract=contract,
             space=SPACE_BOOM,
             assumptions=tuple(exclusions),
             limits=SearchLimits(timeout_s=scale.hunt_timeout),
         )
-        outcome = verify(task)
+        outcome = verify_sharded(task, n_workers=n_workers)
         source = None
         if outcome.attacked:
             source = classify_source(task, outcome)

@@ -1,9 +1,19 @@
-"""Shared benchmark plumbing: timed runs and paper-style table rendering."""
+"""Shared benchmark plumbing: timed runs and paper-style table rendering.
+
+The drivers in this package build their grids as lists of
+:class:`repro.campaign.CampaignUnit` and hand them to
+:func:`run_units`, which fans them over the campaign scheduler --
+``n_workers=1`` reproduces the historical serial path exactly, larger
+counts shard every cell across its secret-pair roots and run the whole
+grid concurrently.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.log import CampaignLog
+from repro.campaign.scheduler import CampaignResult, CampaignUnit, run_campaign
 from repro.core.verifier import VerificationTask, verify
 from repro.mc.result import Outcome
 
@@ -44,13 +54,41 @@ def run_task(
     )
 
 
+def run_units(
+    units: list[CampaignUnit],
+    *,
+    n_workers: int | None = 1,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+    experiment: str = "bench",
+) -> dict[tuple[str, ...], Outcome]:
+    """Run a driver's unit grid; returns ``outcome`` by unit ``key``.
+
+    Defaults to ``n_workers=1`` (the serial reproducibility path) so that
+    existing callers and committed benchmark numbers keep their meaning;
+    drivers surface the knob to their callers.
+    """
+    results: list[CampaignResult] = run_campaign(
+        units,
+        n_workers=n_workers,
+        budget_s=budget_s,
+        log=log,
+        experiment=experiment,
+    )
+    return {result.key: result.outcome for result in results}
+
+
 def format_table(
     title: str, columns: list[str], rows: list[tuple[str, list[str]]]
 ) -> str:
-    """Render an ASCII table (row label + one cell per column)."""
+    """Render an ASCII table (row label + one cell per column).
+
+    With no rows the header line still renders (a campaign cut short by
+    its budget can legitimately produce an empty grid).
+    """
     label_width = max([len(r[0]) for r in rows] + [len(title)])
     widths = [
-        max(len(col), *(len(cells[i]) for _, cells in rows))
+        max([len(col)] + [len(cells[i]) for _, cells in rows])
         for i, col in enumerate(columns)
     ]
     lines = [title]

@@ -35,19 +35,20 @@ from repro.bench.configs import (
     SPACE_SIMPLE,
     Scale,
 )
-from repro.bench.runner import GLYPHS, format_table
+from repro.bench.runner import GLYPHS, format_table, run_units
+from repro.campaign.log import CampaignLog, outcome_from_json
+from repro.campaign.registry import CoreSpec, core_spec
+from repro.campaign.scheduler import CampaignUnit
 from repro.core.contracts import sandboxing
 from repro.core.leave import leave_verify
 from repro.core.secrets import secret_memory_pairs
 from repro.core.upec import upec_verify
-from repro.core.verifier import VerificationTask, verify
+from repro.core.verifier import VerificationTask
 from repro.mc.explorer import SearchLimits
 from repro.mc.result import Outcome
-from repro.uarch.boom import boom
 from repro.uarch.config import Defense
-from repro.uarch.inorder import InOrderCore
-from repro.uarch.simple_ooo import simple_ooo
-from repro.uarch.superscalar import ridecore
+
+EXPERIMENT = "table2"
 
 
 @dataclass(frozen=True)
@@ -55,43 +56,94 @@ class Design:
     """One Table-2 column."""
 
     name: str
-    core_factory: object
+    core_factory: CoreSpec
     space: object
     secure: bool
 
 
 def designs() -> list[Design]:
-    """The five evaluated designs."""
+    """The five evaluated designs (factories are picklable core specs)."""
     return [
-        Design("Sodor", lambda: InOrderCore(SIMPLE_PARAMS), SPACE_SIMPLE, True),
+        Design(
+            "Sodor",
+            core_spec("inorder", params=SIMPLE_PARAMS),
+            SPACE_SIMPLE,
+            True,
+        ),
         Design(
             "SimpleOoO-S",
-            lambda: simple_ooo(Defense.DELAY_SPECTRE, params=SIMPLE_PARAMS),
+            core_spec(
+                "simple_ooo",
+                defense=Defense.DELAY_SPECTRE,
+                params=SIMPLE_PARAMS,
+            ),
             SPACE_SIMPLE,
             True,
         ),
         Design(
             "SimpleOoO",
-            lambda: simple_ooo(Defense.NONE, params=SIMPLE_PARAMS),
+            core_spec("simple_ooo", defense=Defense.NONE, params=SIMPLE_PARAMS),
             SPACE_SIMPLE,
             False,
         ),
         Design(
             "Ridecore",
-            lambda: ridecore(params=SIMPLE_PARAMS),
+            core_spec("ridecore", params=SIMPLE_PARAMS),
             SPACE_RIDECORE,
             False,
         ),
-        Design("BOOM", lambda: boom(params=BOOM_PARAMS), SPACE_BOOM, False),
+        Design("BOOM", core_spec("boom", params=BOOM_PARAMS), SPACE_BOOM, False),
     ]
 
 
-def run(scale: Scale) -> dict[str, dict[str, Outcome]]:
+def units(scale: Scale, schemes: tuple[str, ...] = ("shadow", "baseline")) -> list[CampaignUnit]:
+    """The model-checked cells of the grid as campaign units.
+
+    The LEAVE and UPEC rows use their own comparison verifiers (not
+    :class:`VerificationTask`), so :func:`run` executes them serially
+    after the campaign -- they are second-scale.
+    """
+    contract = sandboxing()
+    grid = []
+    for design in designs():
+        for scheme in schemes:
+            if scheme == "baseline":
+                limits = SearchLimits(timeout_s=scale.baseline_timeout)
+            else:
+                limits = SearchLimits(
+                    timeout_s=scale.proof_timeout
+                    if design.secure
+                    else scale.attack_timeout
+                )
+            grid.append(
+                CampaignUnit(
+                    experiment=EXPERIMENT,
+                    key=(scheme, design.name),
+                    task=VerificationTask(
+                        core_factory=design.core_factory,
+                        contract=contract,
+                        space=design.space,
+                        scheme=scheme,
+                        limits=limits,
+                    ),
+                )
+            )
+    return grid
+
+
+def run(
+    scale: Scale,
+    *,
+    n_workers: int | None = 1,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+) -> dict[str, dict[str, Outcome]]:
     """Run the comparison matrix; returns ``results[scheme][design]``.
 
     Scheme coverage follows the paper's shaded cells: LEAVE only on the
     cores its in-order-oriented candidates target (plus our OoO extension),
-    UPEC only on BOOM.
+    UPEC only on BOOM.  ``n_workers`` fans the shadow/baseline grid over
+    the campaign scheduler (``1`` = the historical serial path).
     """
     results: dict[str, dict[str, Outcome]] = {
         "baseline": {},
@@ -100,25 +152,16 @@ def run(scale: Scale) -> dict[str, dict[str, Outcome]]:
         "shadow": {},
     }
     contract = sandboxing()
+    by_key = run_units(
+        units(scale),
+        n_workers=n_workers,
+        budget_s=budget_s,
+        log=log,
+        experiment=EXPERIMENT,
+    )
+    for (scheme, design_name), outcome in by_key.items():
+        results[scheme][design_name] = outcome
     for design in designs():
-        limits = SearchLimits(
-            timeout_s=scale.proof_timeout if design.secure else scale.attack_timeout
-        )
-        task = VerificationTask(
-            core_factory=design.core_factory,
-            contract=contract,
-            space=design.space,
-            limits=limits,
-        )
-        results["shadow"][design.name] = verify(task)
-        baseline_task = VerificationTask(
-            core_factory=design.core_factory,
-            contract=contract,
-            space=design.space,
-            scheme="baseline",
-            limits=SearchLimits(timeout_s=scale.baseline_timeout),
-        )
-        results["baseline"][design.name] = verify(baseline_task)
         if design.name in ("Sodor", "SimpleOoO-S", "SimpleOoO"):
             params = design.core_factory().params
             roots = secret_memory_pairs(params, "all")
@@ -133,6 +176,22 @@ def run(scale: Scale) -> dict[str, dict[str, Outcome]]:
                 sources=("branch",),
                 limits=SearchLimits(timeout_s=scale.attack_timeout),
             )
+    return results
+
+
+def results_from_records(records: list[dict]) -> dict[str, dict[str, Outcome]]:
+    """Rebuild the (campaign-covered) matrix from JSONL result records."""
+    results: dict[str, dict[str, Outcome]] = {
+        "baseline": {},
+        "leave": {},
+        "upec": {},
+        "shadow": {},
+    }
+    for record in records:
+        if record.get("experiment") != EXPERIMENT:
+            continue
+        scheme, design_name = record["key"]
+        results[scheme][design_name] = outcome_from_json(record["outcome"])
     return results
 
 

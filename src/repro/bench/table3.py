@@ -30,13 +30,17 @@ from repro.bench.configs import (
     SPACE_SIMPLE,
     Scale,
 )
-from repro.bench.runner import GLYPHS, format_table
+from repro.bench.runner import GLYPHS, format_table, run_units
+from repro.campaign.log import CampaignLog, outcome_from_json
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import CampaignUnit
 from repro.core.contracts import constant_time, sandboxing
-from repro.core.verifier import VerificationTask, verify
+from repro.core.verifier import VerificationTask
 from repro.mc.explorer import SearchLimits
 from repro.mc.result import Outcome
 from repro.uarch.config import Defense
-from repro.uarch.simple_ooo import simple_ooo
+
+EXPERIMENT = "table3"
 
 DEFENSES = [
     Defense.NOFWD_FUTURISTIC,
@@ -65,8 +69,9 @@ def task_for(defense: Defense, contract, scale: Scale) -> VerificationTask:
     """Build the verification task for one Table-3 cell."""
     if defense is Defense.DOM_SPECTRE:
         return VerificationTask(
-            core_factory=lambda: simple_ooo(
-                defense,
+            core_factory=core_spec(
+                "simple_ooo",
+                defense=defense,
                 params=DOM_PARAMS,
                 rob_size=DOM_ROB,
                 branch_latency=DOM_BRANCH_LATENCY,
@@ -76,21 +81,61 @@ def task_for(defense: Defense, contract, scale: Scale) -> VerificationTask:
             limits=SearchLimits(timeout_s=scale.dom_timeout),
         )
     return VerificationTask(
-        core_factory=lambda: simple_ooo(defense, params=SIMPLE_PARAMS),
+        core_factory=core_spec("simple_ooo", defense=defense, params=SIMPLE_PARAMS),
         contract=contract,
         space=SPACE_SIMPLE,
         limits=SearchLimits(timeout_s=scale.proof_timeout),
     )
 
 
-def run(scale: Scale, defenses=None) -> dict[tuple[Defense, str], Outcome]:
-    """Run the defense sweep; returns ``results[(defense, contract name)]``."""
-    results: dict[tuple[Defense, str], Outcome] = {}
+def units(scale: Scale, defenses=None) -> list[CampaignUnit]:
+    """The defense-sweep grid as campaign units."""
+    grid = []
     for defense in defenses or DEFENSES:
         for contract_factory in (sandboxing, constant_time):
             contract = contract_factory()
-            task = task_for(defense, contract, scale)
-            results[(defense, contract.name)] = verify(task)
+            grid.append(
+                CampaignUnit(
+                    experiment=EXPERIMENT,
+                    key=(defense.value, contract.name),
+                    task=task_for(defense, contract, scale),
+                )
+            )
+    return grid
+
+
+def run(
+    scale: Scale,
+    defenses=None,
+    *,
+    n_workers: int | None = 1,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+) -> dict[tuple[Defense, str], Outcome]:
+    """Run the defense sweep; returns ``results[(defense, contract name)]``."""
+    by_key = run_units(
+        units(scale, defenses),
+        n_workers=n_workers,
+        budget_s=budget_s,
+        log=log,
+        experiment=EXPERIMENT,
+    )
+    return {
+        (Defense(defense_value), contract_name): outcome
+        for (defense_value, contract_name), outcome in by_key.items()
+    }
+
+
+def results_from_records(records: list[dict]) -> dict[tuple[Defense, str], Outcome]:
+    """Rebuild the sweep results from JSONL result records."""
+    results: dict[tuple[Defense, str], Outcome] = {}
+    for record in records:
+        if record.get("experiment") != EXPERIMENT:
+            continue
+        defense_value, contract_name = record["key"]
+        results[(Defense(defense_value), contract_name)] = outcome_from_json(
+            record["outcome"]
+        )
     return results
 
 

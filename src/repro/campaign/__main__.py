@@ -1,0 +1,96 @@
+"""Mini-campaign CLI: ``python -m repro.campaign [--workers N] [--log F]``.
+
+Runs a seconds-scale campaign over two SimpleOoO cells -- one attack
+(insecure core) and one proof (Delay-spectre defense) -- and prints the
+merged outcomes.  CI runs this twice, with ``--workers 1`` and
+``--workers 4``, and diffs the canonical JSONL logs: any pickling break,
+nondeterministic merge or scheme regression fails the smoke job within a
+minute instead of surfacing in the ten-minute benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.log import CampaignLog
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import CampaignUnit, run_campaign
+from repro.core.contracts import sandboxing
+from repro.core.verifier import VerificationTask
+from repro.isa.encoding import space_tiny
+from repro.isa.params import MachineParams
+from repro.mc.explorer import SearchLimits
+from repro.uarch.config import Defense
+
+MINI_PARAMS = MachineParams(imem_size=3)
+
+
+def mini_units(timeout_s: float = 60.0) -> list[CampaignUnit]:
+    """The two-cell smoke grid: one expected attack, one expected proof."""
+    units = []
+    for label, defense in (
+        ("insecure", Defense.NONE),
+        ("delay-spectre", Defense.DELAY_SPECTRE),
+    ):
+        units.append(
+            CampaignUnit(
+                experiment="mini",
+                key=("shadow", label),
+                task=VerificationTask(
+                    core_factory=core_spec(
+                        "simple_ooo", defense=defense, params=MINI_PARAMS
+                    ),
+                    contract=sandboxing(),
+                    space=space_tiny(),
+                    limits=SearchLimits(timeout_s=timeout_s),
+                ),
+            )
+        )
+    return units
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default/0: one per CPU; 1 = serial path)",
+    )
+    parser.add_argument(
+        "--log", default=None, help="write a JSONL result log to this path"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="shared campaign wall-clock budget in seconds",
+    )
+    args = parser.parse_args(argv)
+    units = mini_units()
+    n_workers = None if args.workers == 0 else args.workers
+
+    def _run(log):
+        return run_campaign(
+            units,
+            n_workers=n_workers,
+            budget_s=args.budget,
+            log=log,
+            experiment="mini",
+        )
+
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as handle:
+            results = _run(CampaignLog(handle))
+    else:
+        results = _run(None)
+    expected = {"insecure": "attack", "delay-spectre": "proved"}
+    failures = 0
+    for result in results:
+        label = result.key[-1]
+        print(f"{'/'.join(result.key):24s} {result.outcome.summary()}")
+        if result.outcome.kind != expected[label]:
+            print(f"  ERROR: expected {expected[label]}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

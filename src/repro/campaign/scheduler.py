@@ -1,0 +1,343 @@
+"""Multiprocess verification campaigns: root sharding + task fan-out.
+
+The paper's evaluation (Tables 2/3, the BOOM hunt) is a grid of
+*independent* verification tasks, and inside each task the secret-pair
+quantifier roots are independent again: a root's DFS subtree never shares
+states with another root's (visited-set keys embed the root index), so
+
+- one :class:`repro.core.verifier.VerificationTask` shards into one
+  subtask per root, and
+- a whole campaign -- one bench table -- fans all shards of all units
+  across a ``ProcessPoolExecutor``.
+
+**Determinism.**  The serial engine's LIFO stack explores roots in
+*reversed* list order, finishing one root's subtree before touching the
+next, and within a root the DFS is fully deterministic.  The merge
+therefore replays that order: scan per-root outcomes from the last root
+to the first, summing search stats, and adopt the first non-proof as the
+unit verdict.  Under budgets generous enough that no shard times out,
+the merged outcome -- verdict, counterexample *and* state/transition
+counts -- is bit-identical to the monolithic serial search, for every
+worker count.  (When a budget *does* trip, verdicts may legitimately
+differ across worker counts: each shard gets the task's full
+``timeout_s``, so parallelism completes searches the serial engine
+would time out on.)  ``n_workers=1`` does not shard at all: it runs
+today's serial path unchanged, which is the reproducibility baseline
+the merged results are tested against.
+
+**Short-circuiting.**  A unit is decided as soon as the serial-order scan
+hits a non-proof with every serially-earlier root proved; the remaining
+(serially-later) shards are cancelled.  This mirrors the serial engine,
+which would never have explored them.
+
+**Budget.**  ``budget_s`` is one shared wall-clock budget for the whole
+campaign.  The scheduler stamps the corresponding absolute deadline into
+every shard's :class:`repro.mc.explorer.SearchLimits`, so in-flight
+worker searches cancel themselves (the paper's third outcome, timeout),
+and units that cannot start before the deadline are reported as timeouts
+without running.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.campaign.log import CampaignLog
+from repro.core.verifier import VerificationTask, verify
+from repro.mc.explorer import Root, SearchLimits
+from repro.mc.result import PROVED, TIMEOUT, Outcome, SearchStats
+
+#: ``note`` attached to outcomes synthesized when the campaign budget
+#: expires before a unit could run.
+BUDGET_NOTE = "campaign budget exhausted"
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One independently-verifiable cell of a campaign.
+
+    ``experiment`` and ``key`` identify the cell in result logs and
+    re-rendered tables (e.g. ``("shadow", "Sodor")`` for Table 2).
+    """
+
+    experiment: str
+    key: tuple[str, ...]
+    task: VerificationTask
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One merged unit outcome, labelled like its unit."""
+
+    experiment: str
+    key: tuple[str, ...]
+    outcome: Outcome
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """``None`` means one worker per CPU (the campaign default)."""
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    return n_workers
+
+
+def _check_picklable(unit: CampaignUnit) -> None:
+    try:
+        pickle.dumps(unit.task)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise ValueError(
+            f"campaign unit {unit.experiment}/{'/'.join(unit.key)} is not "
+            "picklable and cannot be dispatched to worker processes; build "
+            "its core_factory from repro.campaign.registry.CoreSpec instead "
+            f"of a closure ({exc})"
+        ) from None
+
+
+def _run_shard(task: VerificationTask) -> Outcome:
+    """Worker entry point: verify one single-root subtask.
+
+    A shard popped from the pool queue after the campaign deadline has
+    already passed reports the budget timeout without searching at all
+    (mirroring the serial path's pre-unit deadline check).
+    """
+    deadline = task.limits.deadline
+    if deadline is not None and time.monotonic() >= deadline:
+        return _budget_outcome()
+    return verify(task)
+
+
+def _budget_outcome() -> Outcome:
+    return Outcome(
+        kind=TIMEOUT, elapsed=0.0, stats=SearchStats(), note=BUDGET_NOTE
+    )
+
+
+def _merge_root_outcomes(
+    roots: Sequence[Root], outcomes: Sequence[Outcome | None]
+) -> Outcome | None:
+    """Merge per-root outcomes in serial exploration order.
+
+    Returns ``None`` while the merge is still blocked on a pending shard
+    (``outcomes[i] is None``).  The scan runs from the last root to the
+    first -- the serial engine's LIFO order -- so the merged verdict,
+    counterexample and statistics match the monolithic search.
+    """
+    states = transitions = pruned = max_depth = 0
+    prune_reasons: dict[str, int] = {}
+    elapsed = 0.0
+    decided: Outcome | None = None
+    for index in reversed(range(len(roots))):
+        outcome = outcomes[index]
+        if outcome is None:
+            return None
+        stats = outcome.stats
+        states += stats.states
+        transitions += stats.transitions
+        pruned += stats.pruned
+        max_depth = max(max_depth, stats.max_depth)
+        for reason, count in stats.prune_reasons.items():
+            prune_reasons[reason] = prune_reasons.get(reason, 0) + count
+        elapsed += outcome.elapsed
+        if outcome.kind != PROVED:
+            decided = outcome
+            break
+    merged_stats = SearchStats(
+        states, transitions, pruned, max_depth, prune_reasons
+    )
+    if decided is not None:
+        return Outcome(
+            kind=decided.kind,
+            elapsed=elapsed,
+            stats=merged_stats,
+            counterexample=decided.counterexample,
+            note=decided.note,
+        )
+    return Outcome(kind=PROVED, elapsed=elapsed, stats=merged_stats)
+
+
+class _UnitState:
+    """Book-keeping for one in-flight sharded unit."""
+
+    def __init__(self, index: int, unit: CampaignUnit, roots: list[Root]):
+        self.index = index
+        self.unit = unit
+        self.roots = roots
+        self.outcomes: list[Outcome | None] = [None] * len(roots)
+        self.futures: dict = {}  # future -> root position
+        self.final: Outcome | None = None
+
+    def try_finalize(self) -> bool:
+        """Attempt the serial-order merge; cancel obsolete shards."""
+        if self.final is not None:
+            return True
+        merged = _merge_root_outcomes(self.roots, self.outcomes)
+        if merged is None:
+            return False
+        self.final = merged
+        for future in self.futures:
+            future.cancel()
+        return True
+
+
+def run_campaign(
+    units: Sequence[CampaignUnit],
+    *,
+    n_workers: int | None = None,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+    experiment: str = "campaign",
+) -> list[CampaignResult]:
+    """Run a campaign; results align with ``units`` (deterministic order).
+
+    ``n_workers=1`` runs every unit through the plain serial
+    :func:`repro.core.verifier.verify` -- exactly the pre-campaign code
+    path.  ``n_workers>1`` shards units across their roots and fans every
+    shard over a process pool; merged outcomes are deterministic (see the
+    module docstring).  ``budget_s`` is a shared wall-clock budget; units
+    it cuts off report timeout outcomes noted ``"campaign budget
+    exhausted"``.
+    """
+    units = list(units)
+    n_workers = resolve_workers(n_workers)
+    deadline = None if budget_s is None else time.monotonic() + budget_s
+    if log is not None:
+        log.header(experiment, n_workers, len(units))
+    # Results stream to the log in submission order as units finalize
+    # (each record is flushed), so an interrupted campaign keeps every
+    # completed prefix for --from-log re-rendering.
+    sink = _ResultSink(units, log)
+    if n_workers == 1:
+        outcomes = _run_serial(units, deadline, sink)
+    else:
+        outcomes = _run_parallel(units, n_workers, deadline, sink)
+    return [
+        CampaignResult(unit.experiment, unit.key, outcome)
+        for unit, outcome in zip(units, outcomes)
+    ]
+
+
+class _ResultSink:
+    """Streams finalized unit outcomes to the log in submission order.
+
+    Parallel campaigns finalize units out of order; the sink buffers
+    outcomes and writes the longest finalized prefix after every
+    ``offer``, so log ordering stays deterministic while completed work
+    survives a mid-campaign crash or interrupt.
+    """
+
+    def __init__(self, units: list[CampaignUnit], log: CampaignLog | None):
+        self.units = units
+        self.log = log
+        self.outcomes: list[Outcome | None] = [None] * len(units)
+        self._next = 0
+
+    def offer(self, index: int, outcome: Outcome) -> None:
+        self.outcomes[index] = outcome
+        if self.log is None:
+            return
+        while self._next < len(self.units):
+            pending = self.outcomes[self._next]
+            if pending is None:
+                break
+            unit = self.units[self._next]
+            self.log.result(unit.experiment, unit.key, pending)
+            self._next += 1
+
+
+def _stamp_deadline(task: VerificationTask, deadline: float | None):
+    if deadline is None:
+        return task
+    limits = task.limits
+    if limits.deadline is not None:
+        deadline = min(limits.deadline, deadline)
+    return replace(task, limits=replace(limits, deadline=deadline))
+
+
+def _run_serial(
+    units: list[CampaignUnit], deadline: float | None, sink: _ResultSink
+) -> list[Outcome]:
+    outcomes: list[Outcome] = []
+    for index, unit in enumerate(units):
+        if deadline is not None and time.monotonic() >= deadline:
+            outcome = _budget_outcome()
+        else:
+            outcome = verify(_stamp_deadline(unit.task, deadline))
+        outcomes.append(outcome)
+        sink.offer(index, outcome)
+    return outcomes
+
+
+def _run_parallel(
+    units: list[CampaignUnit],
+    n_workers: int,
+    deadline: float | None,
+    sink: _ResultSink,
+) -> list[Outcome]:
+    for unit in units:
+        _check_picklable(unit)
+    states: list[_UnitState] = []
+    for index, unit in enumerate(units):
+        roots = unit.task.build_roots()
+        states.append(_UnitState(index, unit, roots))
+    total_shards = sum(len(s.roots) for s in states)
+    max_workers = max(1, min(n_workers, total_shards))
+    pending: set = set()
+    owner: dict = {}  # future -> (unit state, root position)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for state in states:
+            if deadline is not None and time.monotonic() >= deadline:
+                state.final = _budget_outcome()
+                sink.offer(state.index, state.final)
+                continue
+            for position, root in enumerate(state.roots):
+                subtask = replace(state.unit.task, roots=[root])
+                subtask = _stamp_deadline(subtask, deadline)
+                future = pool.submit(_run_shard, subtask)
+                state.futures[future] = position
+                owner[future] = (state, position)
+                pending.add(future)
+            if state.try_finalize():  # zero-root tasks finalize immediately
+                sink.offer(state.index, state.final)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                state, position = owner.pop(future)
+                if future.cancelled() or state.final is not None:
+                    continue
+                state.outcomes[position] = future.result()
+                if state.try_finalize():
+                    sink.offer(state.index, state.final)
+            pending = {f for f in pending if not f.cancelled()}
+    for state in states:
+        if state.final is None:  # every shard cancelled under it
+            state.final = _merge_root_outcomes(
+                state.roots,
+                [o or _budget_outcome() for o in state.outcomes],
+            )
+            sink.offer(state.index, state.final)
+    return [state.final for state in states]
+
+
+def verify_sharded(
+    task: VerificationTask,
+    *,
+    n_workers: int | None = None,
+    budget_s: float | None = None,
+) -> Outcome:
+    """Verify one task, its secret-pair roots sharded across workers.
+
+    The one-task convenience wrapper over :func:`run_campaign`; the BOOM
+    attack hunt uses it to parallelize each exclusion round.
+    """
+    unit = CampaignUnit(experiment="task", key=("task",), task=task)
+    [result] = run_campaign(
+        [unit], n_workers=n_workers, budget_s=budget_s
+    )
+    return result.outcome

@@ -29,7 +29,10 @@ class VerificationTask:
 
     Attributes:
         core_factory: zero-argument callable building one core instance;
-            products call it once per machine copy.
+            products call it once per machine copy.  Closures work for
+            in-process verification; multiprocess campaigns
+            (:mod:`repro.campaign`) need the picklable
+            :class:`repro.campaign.registry.CoreSpec` equivalent.
         contract: the software-hardware contract to check.
         space: the symbolic instruction universe.
         scheme: ``"shadow"`` (Contract Shadow Logic, Fig. 1b) or

@@ -47,10 +47,18 @@ class SearchLimits:
     The paper uses a 7-day timeout on a Xeon server; these are the
     laptop-scale equivalents.  ``max_states`` is a safety net for test
     environments; ``None`` disables a limit.
+
+    ``deadline`` is an *absolute* ``time.monotonic()`` instant shared by
+    every task of a campaign (``repro.campaign``): the scheduler stamps it
+    on each subtask it dispatches so that one shared wall-clock budget
+    cancels in-flight searches across worker processes (``CLOCK_MONOTONIC``
+    is system-wide on the platforms we support).  ``timeout_s`` remains the
+    per-task relative budget; whichever expires first wins.
     """
 
     timeout_s: float | None = None
     max_states: int | None = None
+    deadline: float | None = None
 
 
 @dataclass(frozen=True)
@@ -76,12 +84,18 @@ class _Budget:
         limits = self.limits
         if limits.max_states is not None and states >= limits.max_states:
             return True
-        if limits.timeout_s is None:
+        if limits.timeout_s is None and limits.deadline is None:
             return False
         self._tick += 1
         if self._tick % _CLOCK_STRIDE:
             return False
-        return self.elapsed() > limits.timeout_s
+        now = time.monotonic()
+        if limits.deadline is not None and now > limits.deadline:
+            return True
+        return (
+            limits.timeout_s is not None
+            and now - self.start > limits.timeout_s
+        )
 
 
 class Explorer:

@@ -63,6 +63,18 @@ def test_format_table_alignment():
     assert all("|" in line for line in lines[1:] if "-" * 5 not in line)
 
 
+def test_format_table_with_zero_rows_renders_the_header():
+    """Regression: ``max()`` over an unpacked empty generator raised
+    ``TypeError`` when a campaign cut short by its budget produced an
+    empty grid."""
+    text = format_table("empty", ["col-a", "b"], [])
+    lines = text.splitlines()
+    assert lines[0] == "empty"
+    assert "col-a" in lines[1] and "b" in lines[1]
+    assert set(lines[2]) == {"-"}
+    assert len(lines) == 3
+
+
 def test_table1_inventory_reports_all_cores():
     rows = table1.run()
     assert len(rows) == 5

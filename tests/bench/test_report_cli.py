@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.bench import report
+from dataclasses import replace
+
+from repro.bench import report, table3
+from repro.bench.configs import QUICK
+from repro.campaign.log import CampaignLog
+from repro.uarch.config import Defense
 
 
 def test_report_cli_runs_the_inventory_only(capsys):
@@ -18,3 +23,27 @@ def test_report_cli_rejects_unknown_scale():
 
     with pytest.raises(SystemExit):
         report.main(["--scale", "galactic"])
+
+
+def test_report_cli_rerenders_table3_from_a_jsonl_log(capsys, tmp_path):
+    """--from-log re-renders a campaign's tables without re-running."""
+    path = tmp_path / "table3.jsonl"
+    scale = replace(QUICK, name="test", proof_timeout=30.0)
+    with open(path, "w", encoding="utf-8") as handle:
+        table3.run(
+            scale,
+            defenses=[Defense.NONE],
+            n_workers=1,
+            log=CampaignLog(handle),
+        )
+    capsys.readouterr()
+    code = report.main(["--from-log", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_report_cli_from_log_rejects_an_empty_log(capsys, tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert report.main(["--from-log", str(path)]) == 1

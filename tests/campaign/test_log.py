@@ -1,0 +1,116 @@
+"""Tests for JSONL campaign logs: roundtrip, canonical form, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.log import (
+    CampaignLog,
+    canonical_lines,
+    outcome_from_json,
+    outcome_to_json,
+    read_records,
+    result_records,
+)
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import CampaignUnit, run_campaign
+from repro.core.contracts import sandboxing
+from repro.core.verifier import VerificationTask, verify
+from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
+from repro.mc.explorer import SearchLimits
+from repro.mc.replay import replay
+from repro.uarch.config import Defense
+
+PARAMS = MachineParams(imem_size=3)
+TINY = EncodingSpace(
+    load_rd=(1, 2),
+    load_rs=(0, 1),
+    load_imm=(0, 3),
+    branch_rs=(0,),
+    branch_off=(2,),
+)
+
+
+def _task(defense: Defense) -> VerificationTask:
+    return VerificationTask(
+        core_factory=core_spec("simple_ooo", defense=defense, params=PARAMS),
+        contract=sandboxing(),
+        space=TINY,
+        limits=SearchLimits(timeout_s=90),
+    )
+
+
+def test_attack_outcome_roundtrips_and_replays():
+    """A logged counterexample is replay-complete after deserialization."""
+    task = _task(Defense.NONE)
+    outcome = verify(task)
+    assert outcome.attacked
+    clone = outcome_from_json(json.loads(json.dumps(outcome_to_json(outcome))))
+    assert clone.kind == outcome.kind
+    assert clone.stats == outcome.stats
+    assert clone.counterexample == outcome.counterexample
+    trace = replay(task.build_product(), clone.counterexample)
+    assert trace[-1].result.failed
+
+
+def test_proof_outcome_roundtrips():
+    outcome = verify(_task(Defense.DELAY_FUTURISTIC))
+    clone = outcome_from_json(outcome_to_json(outcome))
+    assert clone.proved and clone.stats == outcome.stats
+    assert clone.counterexample is None
+
+
+def test_log_records_and_canonical_form(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    units = [CampaignUnit("t", ("shadow", "insecure"), _task(Defense.NONE))]
+    with open(path, "w", encoding="utf-8") as handle:
+        run_campaign(units, n_workers=1, log=CampaignLog(handle))
+    records = read_records(str(path))
+    assert records[0]["type"] == "campaign"
+    assert records[0]["n_workers"] == 1
+    [result] = result_records(records)
+    assert result["key"] == ["shadow", "insecure"]
+    assert result["outcome"]["kind"] == "attack"
+    [line] = canonical_lines(str(path))
+    assert "elapsed" not in line and "n_workers" not in line
+
+
+def test_results_stream_to_the_log_in_unit_order(tmp_path):
+    """Out-of-order finalization still logs the submission order, and a
+    finalized prefix is on disk before later units finish (crash
+    safety for --from-log)."""
+    import io
+
+    from repro.campaign.scheduler import _ResultSink
+    from repro.mc.result import PROVED, Outcome, SearchStats
+
+    units = [
+        CampaignUnit("t", ("s", str(i)), _task(Defense.NONE)) for i in range(3)
+    ]
+    stream = io.StringIO()
+    sink = _ResultSink(units, CampaignLog(stream))
+    outcome = Outcome(kind=PROVED, elapsed=0.0, stats=SearchStats())
+    sink.offer(1, outcome)
+    assert stream.getvalue() == ""  # unit 0 still pending
+    sink.offer(0, outcome)
+    keys = [json.loads(line)["key"] for line in stream.getvalue().splitlines()]
+    assert keys == [["s", "0"], ["s", "1"]]  # prefix flushed, in order
+    sink.offer(2, outcome)
+    keys = [json.loads(line)["key"] for line in stream.getvalue().splitlines()]
+    assert keys == [["s", "0"], ["s", "1"], ["s", "2"]]
+
+
+def test_canonical_logs_identical_across_worker_counts(tmp_path):
+    """The satellite determinism requirement: same seeds/roots, same log."""
+    units = [
+        CampaignUnit("t", ("shadow", "insecure"), _task(Defense.NONE)),
+        CampaignUnit("t", ("shadow", "delay"), _task(Defense.DELAY_FUTURISTIC)),
+    ]
+    paths = {}
+    for n_workers in (1, 4):
+        path = tmp_path / f"campaign-{n_workers}.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            run_campaign(units, n_workers=n_workers, log=CampaignLog(handle))
+        paths[n_workers] = str(path)
+    assert canonical_lines(paths[1]) == canonical_lines(paths[4])

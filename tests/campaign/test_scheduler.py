@@ -1,0 +1,172 @@
+"""Tests for the multiprocess campaign scheduler.
+
+The central property: for every worker count, a campaign's merged
+outcomes -- verdicts, counterexamples *and* search statistics -- are
+identical to the serial engine's, because per-root subtrees are
+independent and the merge replays the serial (LIFO) root order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import (
+    BUDGET_NOTE,
+    CampaignUnit,
+    resolve_workers,
+    run_campaign,
+    verify_sharded,
+)
+from repro.core.contracts import sandboxing
+from repro.core.secrets import secret_memory_pairs
+from repro.core.verifier import VerificationTask, verify
+from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
+from repro.mc.explorer import SearchLimits
+from repro.mc.replay import replay
+from repro.uarch.config import Defense
+
+PARAMS = MachineParams(imem_size=3)
+
+#: The small universe used by the explorer tests: rich enough for an
+#: attack on the insecure core, small enough for second-scale proofs.
+TINY = EncodingSpace(
+    load_rd=(1, 2),
+    load_rs=(0, 1),
+    load_imm=(0, 3),
+    branch_rs=(0,),
+    branch_off=(2,),
+)
+
+
+def _task(defense: Defense, **overrides) -> VerificationTask:
+    base = dict(
+        core_factory=core_spec("simple_ooo", defense=defense, params=PARAMS),
+        contract=sandboxing(),
+        space=TINY,
+        limits=SearchLimits(timeout_s=90),
+    )
+    base.update(overrides)
+    return VerificationTask(**base)
+
+
+def _units() -> list[CampaignUnit]:
+    return [
+        CampaignUnit("t", ("shadow", "insecure"), _task(Defense.NONE)),
+        CampaignUnit(
+            "t", ("shadow", "delay"), _task(Defense.DELAY_FUTURISTIC)
+        ),
+    ]
+
+
+def test_resolve_workers():
+    assert resolve_workers(3) == 3
+    assert resolve_workers(None) >= 1
+    with pytest.raises(ValueError):
+        resolve_workers(0)
+
+
+def test_serial_campaign_matches_plain_verify():
+    units = _units()
+    results = run_campaign(units, n_workers=1)
+    for unit, result in zip(units, results):
+        direct = verify(unit.task)
+        assert result.outcome.kind == direct.kind
+        assert result.outcome.stats == direct.stats
+
+
+def test_parallel_campaign_is_bit_identical_to_serial():
+    """Verdict, counterexample and stats match for any worker count."""
+    units = _units()
+    serial = run_campaign(units, n_workers=1)
+    parallel = run_campaign(units, n_workers=4)
+    for ser, par in zip(serial, parallel):
+        assert par.key == ser.key
+        assert par.outcome.kind == ser.outcome.kind
+        assert par.outcome.stats == ser.outcome.stats
+        assert par.outcome.counterexample == ser.outcome.counterexample
+
+
+def test_result_order_follows_unit_order():
+    units = list(reversed(_units()))
+    results = run_campaign(units, n_workers=4)
+    assert [r.key for r in results] == [u.key for u in units]
+
+
+def test_sharded_attack_short_circuits_and_replays():
+    """Forced-ATTACK case: the serially-first root attacks, the sibling
+    roots are short-circuited, and the merged counterexample replays
+    through ``mc.replay`` exactly like the serial one."""
+    roots = secret_memory_pairs(PARAMS, "single")
+    attackable = roots[-1]  # varies secret cell 3 (reachable by TINY)
+    benign = roots[0]  # varies cell 2: unreachable, proves
+    # The LIFO stack explores the *last* root first, so putting the
+    # attackable root last makes it the serial engine's first subtree:
+    # the benign siblings must be short-circuited, not merged.
+    task = _task(Defense.NONE, roots=[benign, benign, attackable])
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4)
+    assert serial.attacked and sharded.attacked
+    assert sharded.counterexample == serial.counterexample
+    assert sharded.stats == serial.stats  # siblings contributed nothing
+    trace = replay(task.build_product(), sharded.counterexample)
+    assert trace[-1].result.failed
+
+
+def test_sharded_attack_in_the_middle_merges_earlier_siblings():
+    roots = secret_memory_pairs(PARAMS, "single")
+    attackable = roots[-1]
+    benign = roots[0]
+    # Serial order explores [benign(last), attackable, benign(first)]:
+    # the merged stats must include the serially-earlier benign subtree.
+    task = _task(Defense.NONE, roots=[benign, attackable, benign])
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4)
+    assert serial.attacked and sharded.attacked
+    assert sharded.counterexample == serial.counterexample
+    assert sharded.stats == serial.stats
+
+
+def test_sharded_proof_sums_every_root():
+    task = _task(Defense.DELAY_FUTURISTIC)
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=2)
+    assert serial.proved and sharded.proved
+    assert sharded.stats == serial.stats
+
+
+def test_campaign_budget_cuts_units_off():
+    results = run_campaign(_units(), n_workers=1, budget_s=0.0)
+    assert all(r.outcome.timed_out for r in results)
+    assert all(r.outcome.note == BUDGET_NOTE for r in results)
+
+
+def test_parallel_campaign_budget_cuts_units_off():
+    results = run_campaign(_units(), n_workers=2, budget_s=0.0)
+    assert all(r.outcome.timed_out for r in results)
+
+
+def test_unpicklable_task_is_rejected_with_guidance():
+    unit = CampaignUnit(
+        "t",
+        ("shadow", "lambda"),
+        _task(Defense.NONE, core_factory=lambda: None),
+    )
+    with pytest.raises(ValueError, match="CoreSpec"):
+        run_campaign([unit], n_workers=2)
+
+
+def test_lambda_factories_still_work_serially():
+    from repro.uarch.simple_ooo import simple_ooo
+
+    unit = CampaignUnit(
+        "t",
+        ("shadow", "lambda"),
+        _task(
+            Defense.NONE,
+            core_factory=lambda: simple_ooo(Defense.NONE, params=PARAMS),
+        ),
+    )
+    [result] = run_campaign([unit], n_workers=1)
+    assert result.outcome.attacked
