@@ -1,16 +1,23 @@
-"""Campaign scaling: the Table-2 grid, serial vs 4 worker processes.
+"""Campaign scaling: root-sharded grids and sub-root-sharded proofs.
 
 The paper's evaluation is a grid of independent verification tasks; the
 campaign scheduler (``repro.campaign``) shards each cell across its
-secret-pair roots and fans the whole grid over worker processes.  This
-benchmark runs the full model-checked Table-2 grid (shadow + baseline
-schemes, five designs) both ways and records the wall-clocks in
-``BENCH_campaign.json`` at the repository root.
+secret-pair roots -- and, below the root, across the first cycle's
+nondeterministic choices -- and fans everything over worker processes.
+Two wall-clock records accumulate in ``BENCH_campaign.json`` at the
+repository root:
 
-Asserted always: per-cell outcomes -- verdict, search statistics and
+- ``table2-grid``: the full model-checked Table-2 grid (shadow +
+  baseline schemes, five designs), serial vs 4 workers at root
+  granularity, and
+- ``fig2-rob-subroot``: the dominant Fig. 2 ROB sweep cell -- a workload
+  one root's subtree dominates, which root sharding cannot split --
+  serial vs 4 workers with sub-root sharding forced on.
+
+Asserted always: outcomes -- verdict, search statistics and
 counterexamples -- are identical between the serial path and the
-4-worker campaign (the determinism contract).  Asserted only on
-multi-core runners: the parallel grid completes in measurably less
+sharded campaign (the determinism contract).  Asserted only on
+multi-core runners: the parallel run completes in measurably less
 wall-clock than the serial one (on a single-CPU container the process
 pool can only add overhead, which the JSON records honestly).
 """
@@ -22,11 +29,29 @@ import os
 import time
 from pathlib import Path
 
-from repro.bench import table2
+from repro.bench import fig2, table2
 from repro.bench.runner import run_units
+from repro.campaign.scheduler import verify_sharded
+from repro.core.verifier import verify
 
 N_WORKERS = 4
 BENCH_RECORD = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+
+
+def _update_bench_record(key: str, record: dict) -> None:
+    """Merge one named record into ``BENCH_campaign.json``."""
+    records: dict = {}
+    if BENCH_RECORD.exists():
+        try:
+            existing = json.loads(BENCH_RECORD.read_text())
+        except ValueError:
+            existing = {}
+        if "experiment" in existing:  # legacy single-record layout
+            existing = {existing["experiment"]: existing}
+        if isinstance(existing, dict):
+            records = existing
+    records[key] = record
+    BENCH_RECORD.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def test_campaign_scaling_table2_grid(scale):
@@ -63,7 +88,7 @@ def test_campaign_scaling_table2_grid(scale):
         "speedup": round(serial_s / parallel_s, 3),
         "cells": cells,
     }
-    BENCH_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    _update_bench_record("table2-grid", record)
     print()
     print(
         f"campaign scaling: serial {serial_s:.2f}s vs {N_WORKERS}-worker "
@@ -76,4 +101,58 @@ def test_campaign_scaling_table2_grid(scale):
             f"{N_WORKERS}-worker campaign ({parallel_s:.2f}s) not faster "
             f"than serial ({serial_s:.2f}s) on a "
             f"{os.cpu_count()}-CPU runner"
+        )
+
+
+def test_subroot_sharding_dominant_rob_cell(scale):
+    """Serial vs sub-root-sharded wall-clock on the Fig. 2 ROB cell that
+    dominates the sweep (panel a, largest committed ROB size)."""
+    panel = fig2.PANELS[0]
+    size = fig2.ROB_SIZES[-1]
+    task = fig2.point_task(panel, "rob", size, scale)
+    n_roots = len(task.build_roots())
+
+    started = time.monotonic()
+    serial = verify(task)
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    sharded = verify_sharded(task, n_workers=N_WORKERS, subroot="always")
+    sharded_s = time.monotonic() - started
+
+    assert sharded.kind == serial.kind
+    assert sharded.stats == serial.stats
+    assert sharded.counterexample == serial.counterexample
+
+    record = {
+        "experiment": "fig2-rob-subroot",
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "n_workers": N_WORKERS,
+        "panel": panel.key,
+        "rob_size": size,
+        "n_roots": n_roots,
+        "kind": serial.kind,
+        "states": serial.stats.states,
+        "serial_s": round(serial_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "speedup": round(serial_s / sharded_s, 3),
+    }
+    _update_bench_record("fig2-rob-subroot", record)
+    print()
+    print(
+        f"sub-root sharding: ROB-{size} cell serial {serial_s:.2f}s vs "
+        f"{N_WORKERS}-worker {sharded_s:.2f}s on {record['cpu_count']} CPUs "
+        f"({n_roots} roots) -> {BENCH_RECORD.name}"
+    )
+
+    # Unlike the 72-shard table2 grid, this cell splits into only ~7
+    # first-cycle shards of very uneven size, so the parallel margin is
+    # thin even on multi-core runners; assert the sharding is not
+    # pathologically slower rather than strictly faster (the JSON above
+    # records the honest ratio either way).
+    if (os.cpu_count() or 1) >= 2:
+        assert sharded_s < serial_s * 1.25, (
+            f"sub-root-sharded cell ({sharded_s:.2f}s) much slower than "
+            f"serial ({serial_s:.2f}s) on a {os.cpu_count()}-CPU runner"
         )

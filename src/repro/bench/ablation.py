@@ -13,20 +13,30 @@ configuration explores no more work.  The gate's savings show up in the
 *transition* count (symbolic slots concretized during phase 2 spawn
 pruned transitions); with longer drains they surface in the state count
 too.
+
+Each (workload, gate) cell is an independent :class:`CampaignUnit`, so
+the ablation fans over the campaign scheduler like the paper tables do
+(``gate_fetch`` is an ordinary picklable task field).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.bench.configs import SIMPLE_PARAMS, SPACE_SIMPLE, Scale
+from repro.bench.runner import run_units
+from repro.campaign.log import CampaignLog, outcome_from_json
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import CampaignUnit
 from repro.core.contracts import constant_time, sandboxing
-from repro.core.verifier import VerificationTask, verify
+from repro.core.verifier import VerificationTask
 from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
 from repro.mc.explorer import SearchLimits
 from repro.mc.result import Outcome
 from repro.uarch.config import Defense
-from repro.uarch.simple_ooo import simple_ooo
+
+EXPERIMENT = "ablation"
 
 #: A drain-heavy *proof* workload (constant-time contract, insecure core):
 #: a committed load may legitimately bring the secret into r1; a branch on
@@ -46,6 +56,34 @@ SPACE_DRAIN_HEAVY = EncodingSpace(
     branch_off=(2,),
 )
 
+#: 5-slot programs for the drain-heavy workload: the gate only has
+#: something to gate when unfetched slots remain at deviation time.
+DEEP_PARAMS = replace(SIMPLE_PARAMS, imem_size=5)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One ablation row: a (defense, space, params, contract) bundle."""
+
+    slug: str
+    label: str
+    defense: Defense
+    space: EncodingSpace
+    params: MachineParams
+    contract_factory: object
+
+
+WORKLOADS = (
+    Workload("attack", "attack (insecure SimpleOoO)", Defense.NONE,
+             SPACE_SIMPLE, SIMPLE_PARAMS, sandboxing),
+    Workload("proof", "proof (Delay-futuristic)", Defense.DELAY_FUTURISTIC,
+             SPACE_SIMPLE, SIMPLE_PARAMS, sandboxing),
+    Workload("drain-heavy", "drain-heavy proof (insecure, constant-time)",
+             Defense.NONE, SPACE_DRAIN_HEAVY, DEEP_PARAMS, constant_time),
+)
+
+GATE_KEYS = ("gated", "ungated")
+
 
 @dataclass(frozen=True)
 class AblationResult:
@@ -56,40 +94,78 @@ class AblationResult:
     ungated: Outcome
 
 
-def _task(
-    defense: Defense, space, params, contract, gate_fetch: bool, scale: Scale
-) -> VerificationTask:
+def _task(workload: Workload, gate_fetch: bool, scale: Scale) -> VerificationTask:
     return VerificationTask(
-        core_factory=lambda: simple_ooo(defense, params=params),
-        contract=contract,
-        space=space,
+        core_factory=core_spec(
+            "simple_ooo", defense=workload.defense, params=workload.params
+        ),
+        contract=workload.contract_factory(),
+        space=workload.space,
         limits=SearchLimits(timeout_s=scale.proof_timeout),
         gate_fetch=gate_fetch,
     )
 
 
-def run(scale: Scale) -> list[AblationResult]:
-    """Run the ablation on attack, plain-proof and drain-heavy workloads.
+def units(
+    scale: Scale, workloads: tuple[Workload, ...] = WORKLOADS
+) -> list[CampaignUnit]:
+    """The (workload, gate) grid as campaign units, keys ``(slug, gate)``."""
+    grid = []
+    for workload in workloads:
+        for gate_key in GATE_KEYS:
+            grid.append(
+                CampaignUnit(
+                    experiment=EXPERIMENT,
+                    key=(workload.slug, gate_key),
+                    task=_task(workload, gate_key == "gated", scale),
+                )
+            )
+    return grid
 
-    The drain-heavy workload uses 5-slot symbolic programs: the gate only
-    has something to gate when unfetched slots remain at deviation time.
-    """
-    from dataclasses import replace
 
-    deep_params = replace(SIMPLE_PARAMS, imem_size=5)
+def _assemble(
+    by_key: dict[tuple[str, ...], Outcome],
+    workloads: tuple[Workload, ...] = WORKLOADS,
+) -> list[AblationResult]:
     results = []
-    for workload, defense, space, params, contract in (
-        ("attack (insecure SimpleOoO)", Defense.NONE, SPACE_SIMPLE,
-         SIMPLE_PARAMS, sandboxing()),
-        ("proof (Delay-futuristic)", Defense.DELAY_FUTURISTIC, SPACE_SIMPLE,
-         SIMPLE_PARAMS, sandboxing()),
-        ("drain-heavy proof (insecure, constant-time)", Defense.NONE,
-         SPACE_DRAIN_HEAVY, deep_params, constant_time()),
-    ):
-        gated = verify(_task(defense, space, params, contract, True, scale))
-        ungated = verify(_task(defense, space, params, contract, False, scale))
-        results.append(AblationResult(workload, gated, ungated))
+    for workload in workloads:
+        gated = by_key.get((workload.slug, "gated"))
+        ungated = by_key.get((workload.slug, "ungated"))
+        if gated is None or ungated is None:
+            continue  # partial log / budget-truncated campaign
+        results.append(AblationResult(workload.label, gated, ungated))
     return results
+
+
+def run(
+    scale: Scale,
+    workloads: tuple[Workload, ...] = WORKLOADS,
+    *,
+    n_workers: int | None = 1,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+    subroot: str = "auto",
+) -> list[AblationResult]:
+    """Run the ablation on attack, plain-proof and drain-heavy workloads."""
+    by_key = run_units(
+        units(scale, workloads),
+        n_workers=n_workers,
+        budget_s=budget_s,
+        log=log,
+        experiment=EXPERIMENT,
+        subroot=subroot,
+    )
+    return _assemble(by_key, workloads)
+
+
+def results_from_records(records: list[dict]) -> list[AblationResult]:
+    """Rebuild the paired comparison from JSONL result records."""
+    by_key: dict[tuple[str, ...], Outcome] = {}
+    for record in records:
+        if record.get("experiment") != EXPERIMENT:
+            continue
+        by_key[tuple(record["key"])] = outcome_from_json(record["outcome"])
+    return _assemble(by_key)
 
 
 def format_rows(results: list[AblationResult]) -> str:

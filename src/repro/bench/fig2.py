@@ -14,6 +14,11 @@ register file, data memory and ROB):
   state-bit count, so the sweep couples the symbolic-program depth to the
   ROB capacity (a k-entry ROB is only exercised by >= k in-flight
   instructions); divergence D3 in EXPERIMENTS.md.
+
+Every sweep point is an independent :class:`CampaignUnit` (most pin a
+``secret_mode="single"`` quantifier with one or two roots), so the grid
+is the sub-root scheduler's flagship workload: root sharding alone cannot
+split a point's dominant single-root subtree, sub-root sharding can.
 """
 
 from __future__ import annotations
@@ -21,14 +26,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.configs import Scale
+from repro.bench.runner import run_units
+from repro.campaign.log import CampaignLog, outcome_from_json
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import CampaignUnit
 from repro.core.contracts import constant_time, sandboxing
-from repro.core.verifier import VerificationTask, verify
+from repro.core.verifier import VerificationTask
 from repro.isa.encoding import EncodingSpace
 from repro.isa.params import MachineParams
 from repro.mc.explorer import SearchLimits
 from repro.mc.result import Outcome
 from repro.uarch.config import Defense
-from repro.uarch.simple_ooo import simple_ooo
+
+EXPERIMENT = "fig2"
 
 #: Sweep points (the paper sweeps {2, 4, 8, 16}; the committed quick suite
 #: stops where a point would dominate the suite's budget -- recorded in
@@ -36,6 +46,9 @@ from repro.uarch.simple_ooo import simple_ooo
 REGFILE_SIZES = (2, 4, 8, 16)
 DMEM_SIZES = (2, 4, 8)
 ROB_SIZES = (2, 4, 8)
+
+#: Structure sweep order (also the rendering order).
+STRUCTURES = ("regfile", "dmem", "rob")
 
 
 @dataclass(frozen=True)
@@ -90,40 +103,120 @@ def _imem_for_rob(rob_size: int) -> int:
     return min(rob_size + 1, 6)
 
 
-def _run_point(panel: Panel, params, rob_size: int, scale: Scale) -> Outcome:
-    task = VerificationTask(
-        core_factory=lambda: simple_ooo(panel.defense, params=params, rob_size=rob_size),
+def _point_config(structure: str, size: int) -> tuple[MachineParams, int]:
+    """(machine parameters, ROB capacity) of one sweep point."""
+    if structure == "regfile":
+        return _params(n_regs=size), 4
+    if structure == "dmem":
+        return _params(mem_size=size), 4
+    if structure == "rob":
+        return _params(imem_size=_imem_for_rob(size)), size
+    raise ValueError(f"unknown sweep structure {structure!r}")
+
+
+def point_task(panel: Panel, structure: str, size: int, scale: Scale) -> VerificationTask:
+    """Build the (picklable) verification task for one sweep point."""
+    params, rob_size = _point_config(structure, size)
+    return VerificationTask(
+        core_factory=core_spec(
+            "simple_ooo", defense=panel.defense, params=params, rob_size=rob_size
+        ),
         contract=panel.contract_factory(),
         space=_space(params.mem_size, rob_size),
         secret_mode="single",
         limits=SearchLimits(timeout_s=scale.proof_timeout),
     )
-    return verify(task)
 
 
-def run_panel(panel: Panel, scale: Scale) -> dict[str, SweepResult]:
-    """Run the three structure sweeps for one panel."""
-    sweeps = {
-        "regfile": SweepResult("regfile"),
-        "dmem": SweepResult("dmem"),
-        "rob": SweepResult("rob"),
+def _sweep_sizes(
+    regfile_sizes=REGFILE_SIZES, dmem_sizes=DMEM_SIZES, rob_sizes=ROB_SIZES
+) -> dict[str, tuple[int, ...]]:
+    return {"regfile": regfile_sizes, "dmem": dmem_sizes, "rob": rob_sizes}
+
+
+def units(
+    scale: Scale,
+    *,
+    regfile_sizes=REGFILE_SIZES,
+    dmem_sizes=DMEM_SIZES,
+    rob_sizes=ROB_SIZES,
+) -> list[CampaignUnit]:
+    """Both panels' sweep grids as campaign units.
+
+    Unit keys are ``(panel, structure, size)``; the reduced-size keyword
+    arguments carve out mini grids (the CI determinism smoke).
+    """
+    grid = []
+    for panel in PANELS:
+        for structure, sizes in _sweep_sizes(
+            regfile_sizes, dmem_sizes, rob_sizes
+        ).items():
+            for size in sizes:
+                grid.append(
+                    CampaignUnit(
+                        experiment=EXPERIMENT,
+                        key=(panel.key, structure, str(size)),
+                        task=point_task(panel, structure, size, scale),
+                    )
+                )
+    return grid
+
+
+def _empty_results() -> dict[str, dict[str, SweepResult]]:
+    return {
+        panel.key: {s: SweepResult(s) for s in STRUCTURES} for panel in PANELS
     }
-    for n_regs in REGFILE_SIZES:
-        outcome = _run_point(panel, _params(n_regs=n_regs), 4, scale)
-        sweeps["regfile"].points.append((n_regs, outcome))
-    for mem_size in DMEM_SIZES:
-        outcome = _run_point(panel, _params(mem_size=mem_size), 4, scale)
-        sweeps["dmem"].points.append((mem_size, outcome))
-    for rob_size in ROB_SIZES:
-        params = _params(imem_size=_imem_for_rob(rob_size))
-        outcome = _run_point(panel, params, rob_size, scale)
-        sweeps["rob"].points.append((rob_size, outcome))
-    return sweeps
 
 
-def run(scale: Scale) -> dict[str, dict[str, SweepResult]]:
-    """Run both panels."""
-    return {panel.key: run_panel(panel, scale) for panel in PANELS}
+def run(
+    scale: Scale,
+    *,
+    n_workers: int | None = 1,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+    subroot: str = "auto",
+    regfile_sizes=REGFILE_SIZES,
+    dmem_sizes=DMEM_SIZES,
+    rob_sizes=ROB_SIZES,
+) -> dict[str, dict[str, SweepResult]]:
+    """Run both panels; returns ``results[panel][structure]``.
+
+    ``n_workers`` fans the sweep grid over the campaign scheduler
+    (``1`` = the historical serial path); most points have one or two
+    quantifier roots, so parallel speedups here come from sub-root
+    sharding (``subroot="auto"``).
+    """
+    grid = units(
+        scale,
+        regfile_sizes=regfile_sizes,
+        dmem_sizes=dmem_sizes,
+        rob_sizes=rob_sizes,
+    )
+    by_key = run_units(
+        grid,
+        n_workers=n_workers,
+        budget_s=budget_s,
+        log=log,
+        experiment=EXPERIMENT,
+        subroot=subroot,
+    )
+    results = _empty_results()
+    for (panel_key, structure, size), outcome in by_key.items():
+        results[panel_key][structure].points.append((int(size), outcome))
+    return results
+
+
+def results_from_records(records: list[dict]) -> dict[str, dict[str, SweepResult]]:
+    """Rebuild the sweep series from JSONL result records."""
+    results = _empty_results()
+    for record in records:
+        if record.get("experiment") != EXPERIMENT:
+            continue
+        panel_key, structure, size = record["key"]
+        results[panel_key][structure].points.append(
+            (int(size), outcome_from_json(record["outcome"]))
+        )
+    return results
 
 
 def format_rows(results: dict[str, dict[str, SweepResult]]) -> str:
@@ -132,7 +225,7 @@ def format_rows(results: dict[str, dict[str, SweepResult]]) -> str:
     for panel in PANELS:
         lines.append(panel.title)
         sweeps = results[panel.key]
-        for name in ("regfile", "dmem", "rob"):
+        for name in STRUCTURES:
             series = ", ".join(
                 f"{size}:{outcome.elapsed:.1f}s"
                 + ("" if outcome.proved else f"({outcome.kind})")

@@ -6,11 +6,11 @@ one-command artifact-evaluation entry point; the pytest-benchmark suite
 in ``benchmarks/`` covers the same ground with assertions and timing
 statistics.
 
-The campaign-backed grids (Tables 2 and 3) accept ``--workers N`` to fan
-out over worker processes and ``--log FILE`` to write a JSONL result log
-(the file is overwritten; records stream in as cells finish);
-``--from-log FILE`` re-renders those tables from a previous log without
-re-running anything.
+The campaign-backed grids (Tables 2 and 3, the Fig. 2 sweeps and the
+fetch-gate ablation) accept ``--workers N`` to fan out over worker
+processes and ``--log FILE`` to write a JSONL result log (the file is
+overwritten; records stream in as cells finish); ``--from-log FILE``
+re-renders those tables from a previous log without re-running anything.
 """
 
 from __future__ import annotations
@@ -44,6 +44,12 @@ def render_from_log(path: str) -> int:
         print()
     if table3.EXPERIMENT in experiments:
         print(table3.format_rows(table3.results_from_records(records)))
+        print()
+    if fig2.EXPERIMENT in experiments:
+        print(fig2.format_rows(fig2.results_from_records(records)))
+        print()
+    if ablation.EXPERIMENT in experiments:
+        print(ablation.format_rows(ablation.results_from_records(records)))
         print()
     return 0
 
@@ -104,14 +110,18 @@ def main(argv: list[str] | None = None) -> int:
             ))
             print()
         if "fig2" not in skip:
-            print(fig2.format_rows(fig2.run(scale)))
+            print(fig2.format_rows(
+                fig2.run(scale, n_workers=n_workers, log=log)
+            ))
             print()
         if "hunt" not in skip:
             steps = boom_hunt.run(sandboxing(), scale, n_workers=n_workers)
             print(boom_hunt.format_rows("sandboxing", steps))
             print()
         if "ablation" not in skip:
-            print(ablation.format_rows(ablation.run(scale)))
+            print(ablation.format_rows(
+                ablation.run(scale, n_workers=n_workers, log=log)
+            ))
             print()
     finally:
         if log_handle:

@@ -61,12 +61,15 @@ def run_units(
     budget_s: float | None = None,
     log: CampaignLog | None = None,
     experiment: str = "bench",
+    subroot: str = "auto",
 ) -> dict[tuple[str, ...], Outcome]:
     """Run a driver's unit grid; returns ``outcome`` by unit ``key``.
 
     Defaults to ``n_workers=1`` (the serial reproducibility path) so that
     existing callers and committed benchmark numbers keep their meaning;
-    drivers surface the knob to their callers.
+    drivers surface the knob to their callers.  ``subroot`` selects the
+    shard granularity below the root (see
+    :func:`repro.campaign.scheduler.run_campaign`).
     """
     results: list[CampaignResult] = run_campaign(
         units,
@@ -74,6 +77,7 @@ def run_units(
         budget_s=budget_s,
         log=log,
         experiment=experiment,
+        subroot=subroot,
     )
     return {result.key: result.outcome for result in results}
 

@@ -7,7 +7,8 @@ Public surface:
 - :class:`CampaignUnit` + :func:`run_campaign` -- fan a grid of
   verification tasks (one bench table) across worker processes,
 - :func:`verify_sharded` -- shard a single task across its secret-pair
-  roots,
+  roots and, below each root, across the first cycle's independent
+  subtrees (``subroot="auto"|"always"|"never"``),
 - :class:`repro.campaign.log.CampaignLog` -- JSONL result logs that
   ``python -m repro.bench.report --from-log`` re-renders without
   re-running.
@@ -33,6 +34,7 @@ from repro.campaign.registry import (
 )
 from repro.campaign.scheduler import (
     BUDGET_NOTE,
+    SUBROOT_MODES,
     CampaignResult,
     CampaignUnit,
     resolve_workers,
@@ -42,6 +44,7 @@ from repro.campaign.scheduler import (
 
 __all__ = [
     "BUDGET_NOTE",
+    "SUBROOT_MODES",
     "CORE_FACTORIES",
     "CampaignLog",
     "CampaignResult",

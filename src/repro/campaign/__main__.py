@@ -1,11 +1,20 @@
-"""Mini-campaign CLI: ``python -m repro.campaign [--workers N] [--log F]``.
+"""Mini-campaign CLI: ``python -m repro.campaign [--units G] [--workers N]``.
 
-Runs a seconds-scale campaign over two SimpleOoO cells -- one attack
-(insecure core) and one proof (Delay-spectre defense) -- and prints the
-merged outcomes.  CI runs this twice, with ``--workers 1`` and
-``--workers 4``, and diffs the canonical JSONL logs: any pickling break,
-nondeterministic merge or scheme regression fails the smoke job within a
-minute instead of surfacing in the ten-minute benchmark suite.
+Runs a seconds-scale campaign and prints the merged outcomes.  Three unit
+grids are built in:
+
+- ``mini`` (default): two SimpleOoO cells -- one attack (insecure core)
+  and one proof (Delay-spectre defense),
+- ``fig2-mini``: both Fig. 2 panels' sweeps cut to their smallest sizes
+  (includes a single-root point, the sub-root scheduler's target), and
+- ``ablation-mini``: the fetch-gate ablation's attack and plain-proof
+  workloads, gated and ungated.
+
+CI runs each grid twice, with ``--workers 1`` and ``--workers 4
+--subroot always``, and diffs the canonical JSONL logs: any pickling
+break, nondeterministic merge (root- or sub-root-granular) or scheme
+regression fails the smoke job within minutes instead of surfacing in
+the ten-minute benchmark suite.
 """
 
 from __future__ import annotations
@@ -13,9 +22,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench import ablation, fig2
+from repro.bench.configs import QUICK
 from repro.campaign.log import CampaignLog
 from repro.campaign.registry import core_spec
-from repro.campaign.scheduler import CampaignUnit, run_campaign
+from repro.campaign.scheduler import (
+    SUBROOT_MODES,
+    CampaignUnit,
+    run_campaign,
+)
 from repro.core.contracts import sandboxing
 from repro.core.verifier import VerificationTask
 from repro.isa.encoding import space_tiny
@@ -50,11 +65,45 @@ def mini_units(timeout_s: float = 60.0) -> list[CampaignUnit]:
     return units
 
 
+def fig2_mini_units() -> list[CampaignUnit]:
+    """Both Fig. 2 panels at the smallest sweep sizes (seconds-scale)."""
+    return fig2.units(
+        QUICK, regfile_sizes=(2,), dmem_sizes=(2,), rob_sizes=(2,)
+    )
+
+
+def ablation_mini_units() -> list[CampaignUnit]:
+    """The gate ablation minus its drain-heavy workload (seconds-scale)."""
+    return ablation.units(QUICK, workloads=ablation.WORKLOADS[:2])
+
+
+#: Grid name -> (unit builder, expected verdict by unit key).
+GRIDS = {
+    "mini": (
+        mini_units,
+        lambda key: {"insecure": "attack", "delay-spectre": "proved"}[key[-1]],
+    ),
+    "fig2-mini": (fig2_mini_units, lambda key: "proved"),
+    "ablation-mini": (
+        ablation_mini_units,
+        lambda key: {"attack": "attack", "proof": "proved"}[key[0]],
+    ),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--units", default="mini", choices=sorted(GRIDS),
+        help="which built-in unit grid to run (default: mini)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default/0: one per CPU; 1 = serial path)",
+    )
+    parser.add_argument(
+        "--subroot", default="auto", choices=SUBROOT_MODES,
+        help="shard granularity below the root (default: auto)",
     )
     parser.add_argument(
         "--log", default=None, help="write a JSONL result log to this path"
@@ -64,7 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         help="shared campaign wall-clock budget in seconds",
     )
     args = parser.parse_args(argv)
-    units = mini_units()
+    build_units, expected = GRIDS[args.units]
+    units = build_units()
     n_workers = None if args.workers == 0 else args.workers
 
     def _run(log):
@@ -73,7 +123,8 @@ def main(argv: list[str] | None = None) -> int:
             n_workers=n_workers,
             budget_s=args.budget,
             log=log,
-            experiment="mini",
+            experiment=args.units,
+            subroot=args.subroot,
         )
 
     if args.log:
@@ -81,13 +132,12 @@ def main(argv: list[str] | None = None) -> int:
             results = _run(CampaignLog(handle))
     else:
         results = _run(None)
-    expected = {"insecure": "attack", "delay-spectre": "proved"}
     failures = 0
     for result in results:
-        label = result.key[-1]
         print(f"{'/'.join(result.key):24s} {result.outcome.summary()}")
-        if result.outcome.kind != expected[label]:
-            print(f"  ERROR: expected {expected[label]}", file=sys.stderr)
+        want = expected(result.key)
+        if result.outcome.kind != want:
+            print(f"  ERROR: expected {want}", file=sys.stderr)
             failures += 1
     return 1 if failures else 0
 

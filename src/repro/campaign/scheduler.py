@@ -1,6 +1,6 @@
-"""Multiprocess verification campaigns: root sharding + task fan-out.
+"""Multiprocess verification campaigns: root + sub-root sharding.
 
-The paper's evaluation (Tables 2/3, the BOOM hunt) is a grid of
+The paper's evaluation (Tables 2/3, Fig. 2, the BOOM hunt) is a grid of
 *independent* verification tasks, and inside each task the secret-pair
 quantifier roots are independent again: a root's DFS subtree never shares
 states with another root's (visited-set keys embed the root index), so
@@ -10,17 +10,32 @@ states with another root's (visited-set keys embed the root index), so
 - a whole campaign -- one bench table -- fans all shards of all units
   across a ``ProcessPoolExecutor``.
 
+**Sub-root sharding.**  Root sharding cannot split a workload dominated
+by a *single* root's subtree (the Fig. 2 ROB sweep points).  Below the
+root the same independence argument recurses one level: the first
+cycle's nondeterministic choices (instruction assignments, predictor
+bits) partition the root's DFS into subtrees whose environments diverge
+permanently, so they can never share a visited state (see
+:class:`repro.mc.explorer.RootExpansion`).  When a unit has fewer roots
+than the pool has workers (or ``subroot="always"``), the scheduler
+expands each root's first cycle in-process (cheap: one product cycle per
+choice) and dispatches one seeded shard per surviving child
+(:meth:`repro.mc.explorer.Explorer.run_seeded`).
+
 **Determinism.**  The serial engine's LIFO stack explores roots in
 *reversed* list order, finishing one root's subtree before touching the
 next, and within a root the DFS is fully deterministic.  The merge
 therefore replays that order: scan per-root outcomes from the last root
 to the first, summing search stats, and adopt the first non-proof as the
-unit verdict.  Under budgets generous enough that no shard times out,
-the merged outcome -- verdict, counterexample *and* state/transition
-counts -- is bit-identical to the monolithic serial search, for every
-worker count.  (When a budget *does* trip, verdicts may legitimately
-differ across worker counts: each shard gets the task's full
-``timeout_s``, so parallelism completes searches the serial engine
+unit verdict.  Sub-root shards merge the same way one level down --
+children in reversed yield order, the expansion prelude (root state +
+every first-cycle transition) added on top -- before entering the root
+scan.  Under budgets generous enough that no shard times out, the merged
+outcome -- verdict, counterexample *and* state/transition counts -- is
+bit-identical to the monolithic serial search, for every worker count
+and either shard granularity.  (When a budget *does* trip, verdicts may
+legitimately differ across worker counts: each shard gets the task's
+full ``timeout_s``, so parallelism completes searches the serial engine
 would time out on.)  ``n_workers=1`` does not shard at all: it runs
 today's serial path unchanged, which is the reproducibility baseline
 the merged results are tested against.
@@ -49,12 +64,22 @@ from typing import Sequence
 
 from repro.campaign.log import CampaignLog
 from repro.core.verifier import VerificationTask, verify
-from repro.mc.explorer import Root, SearchLimits
+from repro.mc.explorer import (
+    Explorer,
+    FrontierEntry,
+    Root,
+    RootExpansion,
+    SearchLimits,
+)
 from repro.mc.result import PROVED, TIMEOUT, Outcome, SearchStats
 
 #: ``note`` attached to outcomes synthesized when the campaign budget
 #: expires before a unit could run.
 BUDGET_NOTE = "campaign budget exhausted"
+
+#: Valid ``subroot`` modes: split below the root when a unit has fewer
+#: roots than the pool has workers / always / never.
+SUBROOT_MODES = ("auto", "always", "never")
 
 
 @dataclass(frozen=True)
@@ -113,44 +138,47 @@ def _run_shard(task: VerificationTask) -> Outcome:
     return verify(task)
 
 
+def _run_subroot_shard(task: VerificationTask, entry: FrontierEntry) -> Outcome:
+    """Worker entry point: search one first-cycle subtree of a root."""
+    deadline = task.limits.deadline
+    if deadline is not None and time.monotonic() >= deadline:
+        return _budget_outcome()
+    explorer = Explorer(
+        task.build_product(), task.space, task.build_roots(), task.limits
+    )
+    return explorer.run_seeded([entry])
+
+
 def _budget_outcome() -> Outcome:
     return Outcome(
         kind=TIMEOUT, elapsed=0.0, stats=SearchStats(), note=BUDGET_NOTE
     )
 
 
-def _merge_root_outcomes(
-    roots: Sequence[Root], outcomes: Sequence[Outcome | None]
-) -> Outcome | None:
-    """Merge per-root outcomes in serial exploration order.
+def _merge_serial(outcomes: Sequence[Outcome | None]) -> Outcome | None:
+    """Merge sibling shard outcomes in serial exploration order.
 
-    Returns ``None`` while the merge is still blocked on a pending shard
-    (``outcomes[i] is None``).  The scan runs from the last root to the
-    first -- the serial engine's LIFO order -- so the merged verdict,
-    counterexample and statistics match the monolithic search.
+    Siblings are a unit's roots or one root's first-cycle children; both
+    are pushed in list order onto the serial engine's LIFO stack, so the
+    scan runs from the last entry to the first, summing search stats, and
+    adopts the first non-proof as the verdict.  Returns ``None`` while
+    the merge is still blocked on a pending shard (``outcomes[i] is
+    None``); pending shards *behind* the deciding one are serially dead
+    -- the serial engine would never have explored them -- so they
+    neither block nor contribute.
     """
-    states = transitions = pruned = max_depth = 0
-    prune_reasons: dict[str, int] = {}
+    merged_stats = SearchStats()
     elapsed = 0.0
     decided: Outcome | None = None
-    for index in reversed(range(len(roots))):
+    for index in reversed(range(len(outcomes))):
         outcome = outcomes[index]
         if outcome is None:
             return None
-        stats = outcome.stats
-        states += stats.states
-        transitions += stats.transitions
-        pruned += stats.pruned
-        max_depth = max(max_depth, stats.max_depth)
-        for reason, count in stats.prune_reasons.items():
-            prune_reasons[reason] = prune_reasons.get(reason, 0) + count
+        merged_stats = merged_stats.combine(outcome.stats)
         elapsed += outcome.elapsed
         if outcome.kind != PROVED:
             decided = outcome
             break
-    merged_stats = SearchStats(
-        states, transitions, pruned, max_depth, prune_reasons
-    )
     if decided is not None:
         return Outcome(
             kind=decided.kind,
@@ -162,22 +190,114 @@ def _merge_root_outcomes(
     return Outcome(kind=PROVED, elapsed=elapsed, stats=merged_stats)
 
 
+def _prepend_prelude(expansion: RootExpansion, merged: Outcome) -> Outcome:
+    """Add a root expansion's prelude on top of its children's merge.
+
+    The serial engine pays for the root state and *every* first-cycle
+    transition before it descends into any child, so the prelude is added
+    unconditionally -- even when a child decided the root.
+    """
+    return replace(
+        merged,
+        stats=expansion.stats.combine(merged.stats),
+        elapsed=expansion.elapsed + merged.elapsed,
+    )
+
+
+class _RootSlot:
+    """Shard book-keeping for one root of a unit.
+
+    A slot is either a *whole-root* shard (one worker future, the
+    historical granularity) or a *split* root (an in-process first-cycle
+    expansion plus one seeded worker future per surviving child).
+    """
+
+    def __init__(self, root: Root, subtask: VerificationTask):
+        self.root = root
+        self.subtask = subtask  # single-root, deadline-stamped
+        self.expansion: RootExpansion | None = None
+        self.sub_outcomes: list[Outcome | None] = []
+        self.whole: Outcome | None = None
+        self.futures: list = []  # this slot's in-flight sub-root shards
+
+    def plan_subroot(self) -> bool:
+        """Expand the root's first cycle; ``True`` if no worker is needed.
+
+        Roots the expansion already settles (a first-cycle attack, an
+        expired budget, or an empty frontier -- a proof) finalize
+        in-process.  A one-child frontier stays a whole-root shard:
+        splitting it buys nothing and a lone child may share the root's
+        environment (see ``RootExpansion.splittable``).
+        """
+        task = self.subtask
+        explorer = Explorer(
+            task.build_product(), task.space, task.build_roots(), task.limits
+        )
+        expansion = explorer.expand_root()
+        if expansion.decided is not None:
+            self.whole = expansion.decided
+            return True
+        if not expansion.entries:
+            self.whole = Outcome(
+                kind=PROVED, elapsed=expansion.elapsed, stats=expansion.stats
+            )
+            return True
+        if not expansion.splittable:
+            return False
+        self.expansion = expansion
+        self.sub_outcomes = [None] * len(expansion.entries)
+        return False
+
+    def outcome(self) -> Outcome | None:
+        """The root's merged outcome, or ``None`` while shards are pending."""
+        if self.whole is not None:
+            return self.whole
+        if self.expansion is None:
+            return None
+        merged = _merge_serial(self.sub_outcomes)
+        if merged is None:
+            return None
+        return _prepend_prelude(self.expansion, merged)
+
+    def cancel_if_decided(self) -> None:
+        """Cancel sub-shards a decided root no longer needs.
+
+        A root settled by a serially-early non-proof sub-shard leaves its
+        serially-later siblings dead even while the *unit* is still
+        blocked on other roots; the merge already ignores them, so stop
+        paying for them.
+        """
+        if self.expansion is not None and self.outcome() is not None:
+            for future in self.futures:
+                future.cancel()
+
+    def fill_pending_with_budget(self) -> None:
+        """Stand in budget timeouts for shards that never reported."""
+        if self.whole is not None:
+            return
+        if self.expansion is None:
+            self.whole = _budget_outcome()
+            return
+        self.sub_outcomes = [
+            outcome or _budget_outcome() for outcome in self.sub_outcomes
+        ]
+
+
 class _UnitState:
     """Book-keeping for one in-flight sharded unit."""
 
-    def __init__(self, index: int, unit: CampaignUnit, roots: list[Root]):
+    def __init__(self, index: int, unit: CampaignUnit, slots: list[_RootSlot]):
         self.index = index
         self.unit = unit
-        self.roots = roots
-        self.outcomes: list[Outcome | None] = [None] * len(roots)
-        self.futures: dict = {}  # future -> root position
+        self.slots = slots
+        self.futures: dict = {}  # future -> (root position, sub position)
         self.final: Outcome | None = None
 
     def try_finalize(self) -> bool:
         """Attempt the serial-order merge; cancel obsolete shards."""
         if self.final is not None:
             return True
-        merged = _merge_root_outcomes(self.roots, self.outcomes)
+        merged = _merge_serial([slot.outcome() for slot in self.slots])
         if merged is None:
             return False
         self.final = merged
@@ -193,6 +313,7 @@ def run_campaign(
     budget_s: float | None = None,
     log: CampaignLog | None = None,
     experiment: str = "campaign",
+    subroot: str = "auto",
 ) -> list[CampaignResult]:
     """Run a campaign; results align with ``units`` (deterministic order).
 
@@ -200,12 +321,18 @@ def run_campaign(
     :func:`repro.core.verifier.verify` -- exactly the pre-campaign code
     path.  ``n_workers>1`` shards units across their roots and fans every
     shard over a process pool; merged outcomes are deterministic (see the
-    module docstring).  ``budget_s`` is a shared wall-clock budget; units
-    it cuts off report timeout outcomes noted ``"campaign budget
-    exhausted"``.
+    module docstring).  ``subroot`` controls sharding *below* the root:
+    ``"auto"`` splits a unit's roots into per-first-choice subtrees when
+    the unit has fewer roots than the pool has workers (single-root
+    workloads root sharding cannot touch), ``"always"`` forces the split
+    (the CI determinism smoke), ``"never"`` keeps the root granularity.
+    ``budget_s`` is a shared wall-clock budget; units it cuts off report
+    timeout outcomes noted ``"campaign budget exhausted"``.
     """
     units = list(units)
     n_workers = resolve_workers(n_workers)
+    if subroot not in SUBROOT_MODES:
+        raise ValueError(f"subroot must be one of {SUBROOT_MODES}")
     deadline = None if budget_s is None else time.monotonic() + budget_s
     if log is not None:
         log.header(experiment, n_workers, len(units))
@@ -216,7 +343,7 @@ def run_campaign(
     if n_workers == 1:
         outcomes = _run_serial(units, deadline, sink)
     else:
-        outcomes = _run_parallel(units, n_workers, deadline, sink)
+        outcomes = _run_parallel(units, n_workers, deadline, sink, subroot)
     return [
         CampaignResult(unit.experiment, unit.key, outcome)
         for unit, outcome in zip(units, outcomes)
@@ -279,47 +406,89 @@ def _run_parallel(
     n_workers: int,
     deadline: float | None,
     sink: _ResultSink,
+    subroot: str,
 ) -> list[Outcome]:
     for unit in units:
         _check_picklable(unit)
     states: list[_UnitState] = []
+    split: list[bool] = []
     for index, unit in enumerate(units):
         roots = unit.task.build_roots()
-        states.append(_UnitState(index, unit, roots))
-    total_shards = sum(len(s.roots) for s in states)
-    max_workers = max(1, min(n_workers, total_shards))
+        slots = [
+            _RootSlot(
+                root, _stamp_deadline(replace(unit.task, roots=[root]), deadline)
+            )
+            for root in roots
+        ]
+        states.append(_UnitState(index, unit, slots))
+        split.append(
+            subroot == "always"
+            or (subroot == "auto" and len(roots) < n_workers)
+        )
+    total_root_shards = sum(len(s.slots) for s in states)
+    # Splitting exists to raise the shard count above the root count, so
+    # only clamp the pool to the root count when nothing will split.
+    if any(split):
+        max_workers = n_workers
+    else:
+        max_workers = max(1, min(n_workers, total_root_shards))
     pending: set = set()
-    owner: dict = {}  # future -> (unit state, root position)
+    owner: dict = {}  # future -> (unit state, (root position, sub position))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         for state in states:
             if deadline is not None and time.monotonic() >= deadline:
                 state.final = _budget_outcome()
                 sink.offer(state.index, state.final)
                 continue
-            for position, root in enumerate(state.roots):
-                subtask = replace(state.unit.task, roots=[root])
-                subtask = _stamp_deadline(subtask, deadline)
-                future = pool.submit(_run_shard, subtask)
-                state.futures[future] = position
-                owner[future] = (state, position)
-                pending.add(future)
-            if state.try_finalize():  # zero-root tasks finalize immediately
+            # Plan and submit in *serial* order (last slot first, the LIFO
+            # exploration order): a serially-early root the planner
+            # settles in-process with a non-proof kills its siblings
+            # before any of their planning or submission work is paid.
+            for root_pos in reversed(range(len(state.slots))):
+                if state.try_finalize():
+                    break  # serially-earlier slots already decided the unit
+                slot = state.slots[root_pos]
+                if split[state.index] and slot.plan_subroot():
+                    continue  # settled in-process by the expansion
+                if slot.expansion is None:
+                    shard_futures = [(None, pool.submit(_run_shard, slot.subtask))]
+                else:
+                    shard_futures = [
+                        (sub_pos, pool.submit(_run_subroot_shard, slot.subtask, entry))
+                        for sub_pos, entry in enumerate(slot.expansion.entries)
+                    ]
+                for sub_pos, future in shard_futures:
+                    state.futures[future] = (root_pos, sub_pos)
+                    owner[future] = (state, (root_pos, sub_pos))
+                    pending.add(future)
+                    if sub_pos is not None:
+                        slot.futures.append(future)
+            # Zero-root tasks and units fully settled while planning
+            # (first-cycle attacks, empty frontiers) finalize immediately.
+            if state.try_finalize():
                 sink.offer(state.index, state.final)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                state, position = owner.pop(future)
+                state, (root_pos, sub_pos) = owner.pop(future)
                 if future.cancelled() or state.final is not None:
                     continue
-                state.outcomes[position] = future.result()
+                slot = state.slots[root_pos]
+                if sub_pos is None:
+                    slot.whole = future.result()
+                else:
+                    slot.sub_outcomes[sub_pos] = future.result()
                 if state.try_finalize():
                     sink.offer(state.index, state.final)
+                else:
+                    slot.cancel_if_decided()
             pending = {f for f in pending if not f.cancelled()}
     for state in states:
         if state.final is None:  # every shard cancelled under it
-            state.final = _merge_root_outcomes(
-                state.roots,
-                [o or _budget_outcome() for o in state.outcomes],
+            for slot in state.slots:
+                slot.fill_pending_with_budget()
+            state.final = _merge_serial(
+                [slot.outcome() for slot in state.slots]
             )
             sink.offer(state.index, state.final)
     return [state.final for state in states]
@@ -330,14 +499,17 @@ def verify_sharded(
     *,
     n_workers: int | None = None,
     budget_s: float | None = None,
+    subroot: str = "auto",
 ) -> Outcome:
     """Verify one task, its secret-pair roots sharded across workers.
 
     The one-task convenience wrapper over :func:`run_campaign`; the BOOM
-    attack hunt uses it to parallelize each exclusion round.
+    attack hunt uses it to parallelize each exclusion round, and the
+    Fig. 2 sweep points rely on its sub-root splitting (a single root's
+    subtree dominates them -- root sharding alone cannot help).
     """
     unit = CampaignUnit(experiment="task", key=("task",), task=task)
     [result] = run_campaign(
-        [unit], n_workers=n_workers, budget_s=budget_s
+        [unit], n_workers=n_workers, budget_s=budget_s, subroot=subroot
     )
     return result.outcome

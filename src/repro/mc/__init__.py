@@ -19,13 +19,20 @@ the two copies (an uninterpreted function of ``(pc, occurrence)``).
 """
 
 from repro.mc.env import Environment
-from repro.mc.explorer import Explorer, SearchLimits
+from repro.mc.explorer import (
+    Explorer,
+    FrontierEntry,
+    RootExpansion,
+    SearchLimits,
+)
 from repro.mc.result import Counterexample, Outcome
 
 __all__ = [
     "Counterexample",
     "Environment",
     "Explorer",
+    "FrontierEntry",
     "Outcome",
+    "RootExpansion",
     "SearchLimits",
 ]

@@ -15,6 +15,11 @@ a depth-first traversal of the product transition system with:
   over the modeled domain.
 - **wall-clock budget**: exceeding it yields the paper's third outcome,
   timeout.
+- **seeded frontiers**: :meth:`Explorer.expand_root` enumerates a root's
+  first-cycle children (independent subtrees -- see
+  :class:`RootExpansion`) and :meth:`Explorer.run_seeded` searches one
+  such slice, the shard boundary ``repro.campaign`` uses to parallelize
+  *inside* a single-root proof.
 """
 
 from __future__ import annotations
@@ -22,10 +27,11 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.events import FetchBundle
 from repro.isa.encoding import EncodingSpace
-from repro.isa.instruction import Instruction, Opcode
+from repro.isa.instruction import HALT, Instruction, Opcode
 from repro.mc.env import Environment
 from repro.mc.result import (
     ATTACK,
@@ -69,6 +75,58 @@ class Root:
     dmem_pair: tuple[tuple[int, ...], tuple[int, ...]]
 
 
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One seeded search node: a first-cycle child of a root.
+
+    Everything a worker needs to resume the DFS below this node --
+    resolved environment, canonical product snapshot, absolute depth --
+    is plain data, so entries pickle across process boundaries.
+    """
+
+    env: Environment
+    snap: tuple
+    depth: int
+
+
+@dataclass(frozen=True)
+class RootExpansion:
+    """The first-cycle expansion of one root: the sub-root shard plan.
+
+    The first cycle's nondeterministic choices (instructions for the
+    slots fetched this cycle, predictor bits for new branches) partition
+    the root's DFS into independent subtrees: every surviving child's
+    environment strictly extends the root environment with a *different*
+    assignment, environments only ever grow along a path, and visited
+    keys embed the environment -- so two children's subtrees can never
+    share a state, and none can revisit the root.  Searching the children
+    separately (:meth:`Explorer.run_seeded`) and merging in serial LIFO
+    order reproduces the monolithic search bit for bit.
+
+    ``decided`` is non-``None`` when the expansion itself settled the
+    root: an attack found on a first-cycle transition, or the budget
+    expiring at the root state.  ``stats``/``elapsed`` are the prelude
+    the merge must add on top of the children's outcomes: the root state
+    itself plus every first-cycle transition (the serial engine completes
+    the whole expansion before descending).
+    """
+
+    decided: Outcome | None
+    stats: SearchStats
+    elapsed: float
+    entries: tuple[FrontierEntry, ...]
+
+    @property
+    def splittable(self) -> bool:
+        """Whether per-child shards are sound and worthwhile.
+
+        With fewer than two children there is nothing to parallelize --
+        and a lone child may share the root's environment (nothing was
+        concretized), voiding the subtree-disjointness argument.
+        """
+        return self.decided is None and len(self.entries) >= 2
+
+
 class _Budget:
     """Tracks elapsed time / state count against the limits."""
 
@@ -84,18 +142,21 @@ class _Budget:
         limits = self.limits
         if limits.max_states is not None and states >= limits.max_states:
             return True
-        if limits.timeout_s is None and limits.deadline is None:
+        # The absolute campaign deadline is checked on *every* expansion
+        # (one comparison): shards share it across worker processes, and a
+        # strided check would let each shard overrun it by an unbounded
+        # amount of work per tick window.  The ``>=`` boundary matches the
+        # scheduler's pre-run check (``scheduler._run_shard``).
+        if limits.deadline is not None and time.monotonic() >= limits.deadline:
+            return True
+        if limits.timeout_s is None:
             return False
+        # The relative per-task budget keeps the strided check: it is not
+        # shared with anyone, so overrunning it by a tick window is benign.
         self._tick += 1
         if self._tick % _CLOCK_STRIDE:
             return False
-        now = time.monotonic()
-        if limits.deadline is not None and now > limits.deadline:
-            return True
-        return (
-            limits.timeout_s is not None
-            and now - self.start > limits.timeout_s
-        )
+        return time.monotonic() - self.start > limits.timeout_s
 
 
 class Explorer:
@@ -116,17 +177,90 @@ class Explorer:
 
     def run(self) -> Outcome:
         """Search every root; return proof, first attack, or timeout."""
-        budget = _Budget(self.limits)
-        visited: set = set()
         stack: list[tuple[int, Environment, tuple, int]] = []
-        states = transitions = pruned = max_depth = 0
-        prune_reasons: dict[str, int] = {}
         imem_size = self.product.params.imem_size
         for root_index, root in enumerate(self.roots):
             self.product.reset(root.dmem_pair)
             stack.append(
                 (root_index, Environment.empty(imem_size), self.product.snapshot(), 0)
             )
+        return self._search(stack)
+
+    def run_seeded(self, entries: Sequence[FrontierEntry]) -> Outcome:
+        """Search a slice of the (single) root's first-cycle frontier.
+
+        The sub-root shard entry point: instead of the bare root, the DFS
+        starts from the given frontier entries (pushed in order, so the
+        LIFO stack explores the *last* entry first, exactly as the serial
+        engine explores a root's children).  The caller owns the serial
+        merge: prelude stats from :meth:`expand_root` plus per-entry
+        outcomes in reversed entry order.
+        """
+        if len(self.roots) != 1:
+            raise ValueError("seeded search requires exactly one root")
+        stack = [(0, entry.env, entry.snap, entry.depth) for entry in entries]
+        return self._search(stack)
+
+    def expand_root(self) -> RootExpansion:
+        """Expand the (single) root's first cycle; the sub-root planner.
+
+        Mirrors the first iteration of :meth:`run` exactly: pop the root
+        state, charge the budget, run every first-cycle choice through the
+        product, and collect the surviving children as frontier entries in
+        yield order.
+        """
+        [root] = self.roots
+        budget = _Budget(self.limits)
+        imem_size = self.product.params.imem_size
+        env = Environment.empty(imem_size)
+        self.product.reset(root.dmem_pair)
+        snap = self.product.snapshot()
+        transitions = pruned = 0
+        prune_reasons: dict[str, int] = {}
+        if budget.exhausted(1):
+            stats = SearchStats(1, 0, 0, 0, {})
+            decided = Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
+            return RootExpansion(decided, stats, budget.elapsed(), ())
+        entries: list[FrontierEntry] = []
+        for child_env, bundles in self._choices(env, snap):
+            self.product.restore(snap)
+            result = self.product.step_cycle(bundles)
+            transitions += 1
+            if result.pruned:
+                pruned += 1
+                reason = result.reason or "assume"
+                prune_reasons[reason] = prune_reasons.get(reason, 0) + 1
+                continue
+            if result.failed:
+                stats = SearchStats(1, transitions, pruned, 0, prune_reasons)
+                cex = Counterexample(
+                    root_label=root.label,
+                    dmem_pair=root.dmem_pair,
+                    env=child_env,
+                    depth=1,
+                    reason=result.reason or "leakage",
+                )
+                decided = Outcome(
+                    kind=ATTACK,
+                    elapsed=budget.elapsed(),
+                    stats=stats,
+                    counterexample=cex,
+                )
+                return RootExpansion(decided, stats, budget.elapsed(), ())
+            if self.product.quiescent():
+                continue
+            entries.append(
+                FrontierEntry(child_env, self.product.snapshot(), 1)
+            )
+        stats = SearchStats(1, transitions, pruned, 0, prune_reasons)
+        return RootExpansion(None, stats, budget.elapsed(), tuple(entries))
+
+    def _search(self, stack: list[tuple[int, Environment, tuple, int]]) -> Outcome:
+        """The DFS loop over an already-seeded stack."""
+        budget = _Budget(self.limits)
+        visited: set = set()
+        states = transitions = pruned = max_depth = 0
+        prune_reasons: dict[str, int] = {}
         # Data memories are *not* part of machine snapshots (they are
         # constant along a root's subtree), so the product must be re-reset
         # whenever the search crosses into a different root's subtree.
@@ -193,7 +327,13 @@ class Explorer:
         self.product.restore(snap)
         requests = self.product.fetch_requests()
         n_slots = len(self.product.machines)
-        imem_size = self.product.params.imem_size
+        # A fetch PC is enumerable only inside the modeled instruction
+        # memory; ``len(env.imem)`` additionally guards seeded frontiers
+        # whose environment models a smaller memory than the product's
+        # parameters claim.  Everything else -- a wrapped or overflowed PC
+        # from a mispredicted fetch included -- reads as ``HALT``, exactly
+        # like running off the end of the program.
+        imem_size = min(self.product.params.imem_size, len(env.imem))
         open_pcs = sorted(
             {
                 req.pc
@@ -206,8 +346,7 @@ class Explorer:
             # Which fetches need a fresh predictor-oracle bit?
             open_keys: list[tuple[int, int]] = []
             for req in requests:
-                inst = env_i.slot(req.pc)
-                assert inst is not None
+                inst = self._fetched(env_i, req.pc, imem_size)
                 if inst.op != Opcode.BRANCH or req.predictor != "nondet":
                     continue
                 key = (req.pc, req.occurrence)
@@ -221,14 +360,26 @@ class Explorer:
                 )
                 bundles: list[FetchBundle | None] = [None] * n_slots
                 for req in requests:
-                    inst = env_ip.slot(req.pc)
-                    assert inst is not None
+                    inst = self._fetched(env_ip, req.pc, imem_size)
                     bundles[req.slot] = FetchBundle(
                         pc=req.pc,
                         inst=inst,
                         predicted_taken=self._prediction(req, inst, env_ip),
                     )
                 yield env_ip, bundles
+
+    @staticmethod
+    def _fetched(env: Environment, pc: int, imem_size: int) -> Instruction:
+        """The instruction a fetch at ``pc`` observes, never ``None``.
+
+        Any PC outside the enumerable range -- negative, wrapped, past the
+        modeled memory, or inside a slot the environment cannot concretize
+        -- fetches ``HALT``.
+        """
+        if not 0 <= pc < imem_size:
+            return HALT
+        inst = env.slot(pc)
+        return inst if inst is not None else HALT
 
     @staticmethod
     def _prediction(

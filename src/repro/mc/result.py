@@ -64,6 +64,24 @@ class SearchStats:
     max_depth: int = 0
     prune_reasons: dict = field(default_factory=dict)
 
+    def combine(self, other: "SearchStats") -> "SearchStats":
+        """Accounting for two disjoint parts of one search.
+
+        Counts sum, depths max, prune reasons merge.  The campaign merge
+        (`repro.campaign.scheduler`) folds shard stats with this; keeping
+        one accumulator is part of the serial-bit-identity contract.
+        """
+        prune_reasons = dict(self.prune_reasons)
+        for reason, count in other.prune_reasons.items():
+            prune_reasons[reason] = prune_reasons.get(reason, 0) + count
+        return SearchStats(
+            self.states + other.states,
+            self.transitions + other.transitions,
+            self.pruned + other.pruned,
+            max(self.max_depth, other.max_depth),
+            prune_reasons,
+        )
+
 
 @dataclass(frozen=True)
 class Outcome:

@@ -47,3 +47,33 @@ def test_report_cli_from_log_rejects_an_empty_log(capsys, tmp_path):
     path = tmp_path / "empty.jsonl"
     path.write_text("")
     assert report.main(["--from-log", str(path)]) == 1
+
+
+def test_report_cli_rerenders_fig2_and_ablation_from_a_jsonl_log(
+    capsys, tmp_path
+):
+    """The campaign-ized sweeps re-render from their logs too."""
+    from repro.bench import ablation, fig2
+
+    path = tmp_path / "sweeps.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        log = CampaignLog(handle)
+        fig2.run(
+            QUICK,
+            regfile_sizes=(2,),
+            dmem_sizes=(2,),
+            rob_sizes=(2,),
+            n_workers=1,
+            log=log,
+        )
+        ablation.run(
+            QUICK, workloads=ablation.WORKLOADS[:1], n_workers=1, log=log
+        )
+    capsys.readouterr()
+    code = report.main(["--from-log", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "regfile  2:" in out
+    assert "Ablation" in out
+    assert "attack (insecure SimpleOoO)" in out

@@ -1,0 +1,183 @@
+"""Tests for sub-root sharding: determinism, short-circuits, budgets.
+
+The central property extends one level below the root: for every worker
+count, a campaign with sub-root sharding forced on merges to outcomes --
+verdicts, counterexamples *and* search statistics -- identical to the
+serial engine's, because first-cycle subtrees are independent and the
+merge replays the serial (LIFO) order at both granularities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ablation, fig2, table2
+from repro.bench.configs import QUICK
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import (
+    BUDGET_NOTE,
+    CampaignUnit,
+    _merge_serial,
+    run_campaign,
+    verify_sharded,
+)
+from repro.core.contracts import sandboxing
+from repro.core.secrets import secret_memory_pairs
+from repro.core.verifier import VerificationTask, verify
+from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
+from repro.mc.explorer import SearchLimits
+from repro.mc.replay import replay
+from repro.mc.result import ATTACK, TIMEOUT, Outcome, SearchStats
+from repro.uarch.config import Defense
+
+PARAMS = MachineParams(imem_size=3)
+
+TINY = EncodingSpace(
+    load_rd=(1, 2),
+    load_rs=(0, 1),
+    load_imm=(0, 3),
+    branch_rs=(0,),
+    branch_off=(2,),
+)
+
+
+def _task(defense: Defense, **overrides) -> VerificationTask:
+    base = dict(
+        core_factory=core_spec("simple_ooo", defense=defense, params=PARAMS),
+        contract=sandboxing(),
+        space=TINY,
+        limits=SearchLimits(timeout_s=90),
+    )
+    base.update(overrides)
+    return VerificationTask(**base)
+
+
+# ----------------------------------------------------------------------
+# 1-vs-N determinism on the benchmark grids (budget-free)
+# ----------------------------------------------------------------------
+#: Seconds-scale slices of the three campaign-backed experiment grids.
+#: (The full grids run 1-vs-4 in ``benchmarks/test_campaign_scaling.py``.)
+GRIDS = {
+    "fig2": lambda: fig2.units(
+        QUICK, regfile_sizes=(2,), dmem_sizes=(2,), rob_sizes=(2,)
+    ),
+    "ablation": lambda: ablation.units(QUICK, workloads=ablation.WORKLOADS[:2]),
+    "table2": lambda: [
+        unit
+        for unit in table2.units(QUICK, schemes=("shadow",))
+        if unit.key[1] in ("SimpleOoO-S", "SimpleOoO")
+    ],
+}
+
+
+@pytest.mark.parametrize("grid", sorted(GRIDS))
+def test_subroot_campaign_bit_identical_to_serial(grid):
+    """Verdict, counterexample and stats match the serial engine's."""
+    units = GRIDS[grid]()
+    assert units
+    serial = run_campaign(units, n_workers=1)
+    parallel = run_campaign(units, n_workers=4, subroot="always")
+    for ser, par in zip(serial, parallel):
+        assert par.key == ser.key
+        assert par.outcome.kind == ser.outcome.kind, ser.key
+        assert par.outcome.stats == ser.outcome.stats, ser.key
+        assert par.outcome.counterexample == ser.outcome.counterexample, ser.key
+
+
+def test_single_root_task_splits_below_the_root():
+    """The workload root sharding cannot touch: one root, many workers.
+    ``subroot="auto"`` must split it and still replay the serial search
+    bit for bit, counterexample replay included."""
+    root = secret_memory_pairs(PARAMS, "single")[-1]  # attackable subtree
+    task = _task(Defense.NONE, roots=[root])
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4)  # auto: 1 root < 4 workers
+    assert serial.attacked and sharded.attacked
+    assert sharded.stats == serial.stats
+    assert sharded.counterexample == serial.counterexample
+    trace = replay(task.build_product(), sharded.counterexample)
+    assert trace[-1].result.failed
+
+
+def test_subroot_never_keeps_root_granularity_identical():
+    task = _task(Defense.DELAY_FUTURISTIC)
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4, subroot="never")
+    assert sharded.proved and sharded.stats == serial.stats
+
+
+def test_invalid_subroot_mode_rejected():
+    with pytest.raises(ValueError, match="subroot"):
+        run_campaign(
+            [CampaignUnit("t", ("k",), _task(Defense.NONE))],
+            n_workers=2,
+            subroot="sometimes",
+        )
+
+
+# ----------------------------------------------------------------------
+# Short-circuit cancellation: serially-later shards contribute nothing
+# ----------------------------------------------------------------------
+def _outcome(kind: str, states: int, note: str | None = None) -> Outcome:
+    return Outcome(
+        kind=kind,
+        elapsed=0.25,
+        stats=SearchStats(states, states + 1, 1, 2, {"assume": 1}),
+        note=note,
+    )
+
+
+def test_merge_ignores_pending_shards_behind_the_deciding_one():
+    """The serial engine explores list order *reversed*: outcomes[-1] is
+    serially first.  An attack there decides the merge even while the
+    serially-later outcomes[0] is still pending -- and its stats must not
+    be summed once it is cancelled."""
+    attack = _outcome(ATTACK, states=7)
+    merged = _merge_serial([None, attack])
+    assert merged is not None and merged.kind == ATTACK
+    assert merged.stats == attack.stats  # pending sibling contributed nothing
+
+
+def test_merge_blocks_on_pending_serially_earlier_shards():
+    attack = _outcome(ATTACK, states=7)
+    assert _merge_serial([attack, None]) is None
+
+
+def test_merge_preserves_the_budget_note_of_the_deciding_shard():
+    cutoff = _outcome(TIMEOUT, states=3, note=BUDGET_NOTE)
+    merged = _merge_serial([None, cutoff])
+    assert merged is not None and merged.kind == TIMEOUT
+    assert merged.note == BUDGET_NOTE
+    assert merged.stats == cutoff.stats
+
+
+@pytest.mark.parametrize("subroot", ["never", "always"])
+def test_attack_short_circuits_later_shards_at_both_granularities(subroot):
+    """Serially-first root attacks; benign siblings are short-circuited at
+    root granularity and sub-root granularity alike: the merged stats
+    equal the serial engine's, which never explored the siblings."""
+    roots = secret_memory_pairs(PARAMS, "single")
+    attackable = roots[-1]  # varies the secret cell TINY can reach
+    benign = roots[0]
+    # LIFO order: the *last* root is explored first, so the benign
+    # siblings are serially dead the moment the attackable root decides.
+    task = _task(Defense.NONE, roots=[benign, benign, attackable])
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4, subroot=subroot)
+    assert serial.attacked and sharded.attacked
+    assert sharded.counterexample == serial.counterexample
+    assert sharded.stats == serial.stats  # siblings contributed nothing
+
+
+@pytest.mark.parametrize("subroot", ["never", "always"])
+def test_campaign_budget_cuts_off_subroot_campaigns_too(subroot):
+    units = [
+        CampaignUnit("t", ("a",), _task(Defense.NONE)),
+        CampaignUnit("t", ("b",), _task(Defense.DELAY_FUTURISTIC)),
+    ]
+    results = run_campaign(
+        units, n_workers=2, budget_s=0.0, subroot=subroot
+    )
+    assert all(r.outcome.timed_out for r in results)
+    assert all(r.outcome.note == BUDGET_NOTE for r in results)
