@@ -7,7 +7,9 @@ tables report, not a micro-operation.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +20,27 @@ from repro.bench.configs import scale_by_name
 def scale():
     """Budget profile (override with REPRO_BENCH_SCALE=paper)."""
     return scale_by_name(os.environ.get("REPRO_BENCH_SCALE", "quick"))
+
+
+def update_bench_record(path: Path, key: str, record: dict) -> None:
+    """Merge one named record into a ``BENCH_*.json`` file.
+
+    Shared by the campaign-scaling and explorer-throughput suites so both
+    record files keep one format (a dict of named records; a legacy
+    single-record layout is folded in under its ``experiment`` name).
+    """
+    records: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+        if "experiment" in existing:  # legacy single-record layout
+            existing = {existing["experiment"]: existing}
+        if isinstance(existing, dict):
+            records = existing
+    records[key] = record
+    path.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def run_once(benchmark, fn):

@@ -4,7 +4,7 @@ The paper's evaluation is a grid of independent verification tasks; the
 campaign scheduler (``repro.campaign``) shards each cell across its
 secret-pair roots -- and, below the root, across the first cycle's
 nondeterministic choices -- and fans everything over worker processes.
-Two wall-clock records accumulate in ``BENCH_campaign.json`` at the
+Three wall-clock records accumulate in ``BENCH_campaign.json`` at the
 repository root:
 
 - ``table2-grid``: the full model-checked Table-2 grid (shadow +
@@ -12,7 +12,11 @@ repository root:
   granularity, and
 - ``fig2-rob-subroot``: the dominant Fig. 2 ROB sweep cell -- a workload
   one root's subtree dominates, which root sharding cannot split --
-  serial vs 4 workers with sub-root sharding forced on.
+  serial vs 4 workers with sub-root sharding forced on, and
+- ``fig2-rob-shared-visited``: the same ROB cell under the *ordered*
+  secret-pair quantifier (every root plus its orientation mirror):
+  default serial search vs ``shared_visited``, whose mirror-canonical
+  visited keys collapse each mirror root's subtree onto its partner's.
 
 Asserted always: outcomes -- verdict, search statistics and
 counterexamples -- are identical between the serial path and the
@@ -24,34 +28,20 @@ pool can only add overhead, which the JSON records honestly).
 
 from __future__ import annotations
 
-import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
+from conftest import update_bench_record
 from repro.bench import fig2, table2
 from repro.bench.runner import run_units
 from repro.campaign.scheduler import verify_sharded
+from repro.core.secrets import with_mirrored_roots
 from repro.core.verifier import verify
 
 N_WORKERS = 4
 BENCH_RECORD = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
-
-
-def _update_bench_record(key: str, record: dict) -> None:
-    """Merge one named record into ``BENCH_campaign.json``."""
-    records: dict = {}
-    if BENCH_RECORD.exists():
-        try:
-            existing = json.loads(BENCH_RECORD.read_text())
-        except ValueError:
-            existing = {}
-        if "experiment" in existing:  # legacy single-record layout
-            existing = {existing["experiment"]: existing}
-        if isinstance(existing, dict):
-            records = existing
-    records[key] = record
-    BENCH_RECORD.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def test_campaign_scaling_table2_grid(scale):
@@ -88,7 +78,7 @@ def test_campaign_scaling_table2_grid(scale):
         "speedup": round(serial_s / parallel_s, 3),
         "cells": cells,
     }
-    _update_bench_record("table2-grid", record)
+    update_bench_record(BENCH_RECORD, "table2-grid", record)
     print()
     print(
         f"campaign scaling: serial {serial_s:.2f}s vs {N_WORKERS}-worker "
@@ -138,7 +128,7 @@ def test_subroot_sharding_dominant_rob_cell(scale):
         "sharded_s": round(sharded_s, 3),
         "speedup": round(serial_s / sharded_s, 3),
     }
-    _update_bench_record("fig2-rob-subroot", record)
+    update_bench_record(BENCH_RECORD, "fig2-rob-subroot", record)
     print()
     print(
         f"sub-root sharding: ROB-{size} cell serial {serial_s:.2f}s vs "
@@ -156,3 +146,55 @@ def test_subroot_sharding_dominant_rob_cell(scale):
             f"sub-root-sharded cell ({sharded_s:.2f}s) much slower than "
             f"serial ({serial_s:.2f}s) on a {os.cpu_count()}-CPU runner"
         )
+
+
+def test_shared_visited_dominant_rob_cell(scale):
+    """Serial default vs serial ``shared_visited`` wall-clock on the same
+    dominant Fig. 2 ROB cell, quantified over *ordered* secret pairs
+    (each root plus its orientation mirror -- Eq. (1) as written).
+
+    The default engine pays for every mirror subtree from scratch;
+    mirror-canonical visited keys collapse them, so shared mode must
+    preserve the verdict while strictly reducing explored states -- and
+    the wall-clock ratio is the honest measure of what cross-root proof
+    sharing buys on a real sweep cell."""
+    panel = fig2.PANELS[0]
+    size = fig2.ROB_SIZES[-1]
+    base_task = fig2.point_task(panel, "rob", size, scale)
+    roots = with_mirrored_roots(base_task.build_roots())
+    task = replace(base_task, roots=roots)
+
+    started = time.monotonic()
+    serial = verify(task)
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    shared = verify(replace(task, shared_visited=True))
+    shared_s = time.monotonic() - started
+
+    assert shared.kind == serial.kind
+    assert shared.stats.states < serial.stats.states
+
+    record = {
+        "experiment": "fig2-rob-shared-visited",
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "panel": panel.key,
+        "rob_size": size,
+        "n_roots": len(roots),
+        "kind": serial.kind,
+        "serial_states": serial.stats.states,
+        "shared_states": shared.stats.states,
+        "serial_s": round(serial_s, 3),
+        "shared_s": round(shared_s, 3),
+        "speedup": round(serial_s / shared_s, 3),
+        "states_saved": serial.stats.states - shared.stats.states,
+    }
+    update_bench_record(BENCH_RECORD, "fig2-rob-shared-visited", record)
+    print()
+    print(
+        f"shared visited: ROB-{size} ordered-quantifier cell serial "
+        f"{serial_s:.2f}s ({serial.stats.states} states) vs shared "
+        f"{shared_s:.2f}s ({shared.stats.states} states) -> "
+        f"{record['speedup']:.2f}x -> {BENCH_RECORD.name}"
+    )

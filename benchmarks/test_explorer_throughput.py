@@ -1,0 +1,123 @@
+"""Explorer throughput: the state-engine microbenchmark.
+
+Measures serial states/sec and visited-set memory of the overhauled
+state engine against the frozen pre-overhaul engine
+(:mod:`repro.mc.legacy`) on Fig. 2 ROB sweep cells -- the workload whose
+single dominant subtree made the hot path worth overhauling.  Both
+engines run the *same* task in the same process; verdicts and
+``SearchStats`` are asserted bit-identical, so the ratio isolates pure
+state-handling cost (interning, restore discipline, choice enumeration),
+not search-order luck.
+
+Results accumulate as named records in ``BENCH_explorer.json`` at the
+repository root (regeneration recipe in EXPERIMENTS.md;
+``repro.bench.report`` surfaces the numbers).  Modes, via
+``REPRO_EXPLORER_BENCH``:
+
+- ``smoke``: the ROB-2 cell only -- seconds, used by the CI smoke job
+  (records under a ``-smoke`` suffix so committed full-mode numbers
+  survive);
+- default: the ROB-4 cell;
+- ``full``: ROB-4 and ROB-8 (the committed BENCH_explorer.json numbers).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import update_bench_record
+from repro.bench import fig2
+from repro.mc.explorer import Explorer
+from repro.mc.legacy import LegacyExplorer
+
+BENCH_RECORD = Path(__file__).resolve().parents[1] / "BENCH_explorer.json"
+
+_MODE = os.environ.get("REPRO_EXPLORER_BENCH", "")
+if _MODE == "smoke":
+    ROB_SIZES = (2,)
+    _SUFFIX = "-smoke"
+elif _MODE == "full":
+    ROB_SIZES = (4, 8)
+    _SUFFIX = ""
+else:
+    ROB_SIZES = (4,)
+    _SUFFIX = ""
+
+
+def _measure(engine_cls, task):
+    """One timed serial run; returns (outcome, elapsed, visited footprint)."""
+    explorer = engine_cls(
+        task.build_product(), task.space, task.build_roots(), task.limits
+    )
+    started = time.monotonic()
+    outcome = explorer.run()
+    elapsed = time.monotonic() - started
+    keys, visited_bytes = explorer.visited_footprint()
+    return outcome, elapsed, keys, visited_bytes
+
+
+@pytest.mark.parametrize("rob_size", ROB_SIZES)
+def test_explorer_throughput_fig2_rob_cell(scale, rob_size):
+    task = fig2.point_task(fig2.PANELS[0], "rob", rob_size, scale)
+
+    legacy_outcome, legacy_s, legacy_keys, legacy_bytes = _measure(
+        LegacyExplorer, task
+    )
+    engine_outcome, engine_s, engine_keys, engine_bytes = _measure(
+        Explorer, task
+    )
+
+    # The equivalence contract, re-asserted where the ratio is measured.
+    assert engine_outcome.kind == legacy_outcome.kind
+    assert engine_outcome.stats == legacy_outcome.stats
+    assert engine_outcome.counterexample == legacy_outcome.counterexample
+    assert engine_keys == legacy_keys
+
+    states = engine_outcome.stats.states
+    speedup = legacy_s / engine_s
+    record = {
+        "experiment": "explorer-throughput",
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "cell": {"panel": fig2.PANELS[0].key, "structure": "rob", "size": rob_size},
+        "kind": engine_outcome.kind,
+        "states": states,
+        "legacy": {
+            "elapsed_s": round(legacy_s, 3),
+            "states_per_s": round(states / legacy_s, 1),
+            "visited_keys": legacy_keys,
+            "visited_bytes": legacy_bytes,
+        },
+        "engine": {
+            "elapsed_s": round(engine_s, 3),
+            "states_per_s": round(states / engine_s, 1),
+            "visited_keys": engine_keys,
+            "visited_bytes": engine_bytes,
+        },
+        "speedup": round(speedup, 3),
+        "visited_bytes_ratio": round(engine_bytes / legacy_bytes, 3),
+    }
+    update_bench_record(BENCH_RECORD, f"fig2-rob{rob_size}{_SUFFIX}", record)
+    print()
+    print(
+        f"explorer throughput (ROB-{rob_size}): legacy "
+        f"{record['legacy']['states_per_s']:.0f} st/s vs engine "
+        f"{record['engine']['states_per_s']:.0f} st/s -> {speedup:.2f}x, "
+        f"visited {legacy_bytes >> 10}KiB -> {engine_bytes >> 10}KiB "
+        f"-> {BENCH_RECORD.name}"
+    )
+
+    # The ROB-2 smoke cell finishes in tens of milliseconds, where timer
+    # noise swamps the ratio; the guard belongs to the real cells.
+    if rob_size >= 4:
+        assert speedup > 1.1, (
+            f"state engine regressed: {speedup:.2f}x vs legacy on the "
+            f"ROB-{rob_size} cell"
+        )
+        assert engine_bytes < legacy_bytes, (
+            "interned visited set no longer smaller than deep-tuple keys"
+        )

@@ -45,6 +45,16 @@ hits a non-proof with every serially-earlier root proved; the remaining
 (serially-later) shards are cancelled.  This mirrors the serial engine,
 which would never have explored them.
 
+**Shared visited filters.**  A unit whose task opts into
+``shared_visited`` gets one cross-process fingerprint filter
+(:class:`repro.mc.shared_filter.SharedVisitedFilter`) spanning all of its
+shards: every worker inserts the canonical fingerprint of each state it
+expands and skips states some sibling shard already owns.  Verdict kinds
+are preserved (see the filter module's soundness note); explored-state
+counts become timing-dependent, so shared-visited units are excluded from
+the bit-identity contract above -- the mode trades reproducible statistics
+for less total work on symmetric-root units.
+
 **Budget.**  ``budget_s`` is one shared wall-clock budget for the whole
 campaign.  The scheduler stamps the corresponding absolute deadline into
 every shard's :class:`repro.mc.explorer.SearchLimits`, so in-flight
@@ -72,6 +82,7 @@ from repro.mc.explorer import (
     SearchLimits,
 )
 from repro.mc.result import PROVED, TIMEOUT, Outcome, SearchStats
+from repro.mc.shared_filter import SharedVisitedFilter
 
 #: ``note`` attached to outcomes synthesized when the campaign budget
 #: expires before a unit could run.
@@ -125,7 +136,22 @@ def _check_picklable(unit: CampaignUnit) -> None:
         ) from None
 
 
-def _run_shard(task: VerificationTask) -> Outcome:
+def _attach_filter(task: VerificationTask, filter_name: str | None):
+    """Attach the unit's shared visited filter inside a worker, if any."""
+    if filter_name is None or not task.shared_visited:
+        return None
+    try:
+        return SharedVisitedFilter.attach(filter_name)
+    except OSError:
+        # The segment is gone (unit already decided and cleaned up, or the
+        # platform lost it): degrade to unshared search, which is always
+        # sound -- the filter only ever saves work.
+        return None
+
+
+def _run_shard(
+    task: VerificationTask, filter_name: str | None = None
+) -> Outcome:
     """Worker entry point: verify one single-root subtask.
 
     A shard popped from the pool queue after the campaign deadline has
@@ -135,18 +161,37 @@ def _run_shard(task: VerificationTask) -> Outcome:
     deadline = task.limits.deadline
     if deadline is not None and time.monotonic() >= deadline:
         return _budget_outcome()
-    return verify(task)
+    visited_filter = _attach_filter(task, filter_name)
+    try:
+        return verify(task, visited_filter=visited_filter)
+    finally:
+        if visited_filter is not None:
+            visited_filter.close()
 
 
-def _run_subroot_shard(task: VerificationTask, entry: FrontierEntry) -> Outcome:
+def _run_subroot_shard(
+    task: VerificationTask,
+    entry: FrontierEntry,
+    filter_name: str | None = None,
+) -> Outcome:
     """Worker entry point: search one first-cycle subtree of a root."""
     deadline = task.limits.deadline
     if deadline is not None and time.monotonic() >= deadline:
         return _budget_outcome()
-    explorer = Explorer(
-        task.build_product(), task.space, task.build_roots(), task.limits
-    )
-    return explorer.run_seeded([entry])
+    visited_filter = _attach_filter(task, filter_name)
+    try:
+        explorer = Explorer(
+            task.build_product(),
+            task.space,
+            task.build_roots(),
+            task.limits,
+            shared_visited=task.shared_visited,
+            visited_filter=visited_filter,
+        )
+        return explorer.run_seeded([entry])
+    finally:
+        if visited_filter is not None:
+            visited_filter.close()
 
 
 def _budget_outcome() -> Outcome:
@@ -292,6 +337,25 @@ class _UnitState:
         self.slots = slots
         self.futures: dict = {}  # future -> (root position, sub position)
         self.final: Outcome | None = None
+        # Cross-process visited filter for shared_visited units (one per
+        # unit: sharing across units would be unsound -- different tasks).
+        self.vfilter: SharedVisitedFilter | None = None
+
+    @property
+    def filter_name(self) -> str | None:
+        return None if self.vfilter is None else self.vfilter.name
+
+    def release_filter(self) -> None:
+        """Free the unit's filter segment (idempotent).
+
+        Safe while shards are still mapped: an unlinked segment lives on
+        until every worker detaches, and a worker attaching *after* the
+        unlink degrades to unshared search (``_attach_filter``).
+        """
+        if self.vfilter is not None:
+            self.vfilter.close()
+            self.vfilter.unlink()
+            self.vfilter = None
 
     def try_finalize(self) -> bool:
         """Attempt the serial-order merge; cancel obsolete shards."""
@@ -303,6 +367,9 @@ class _UnitState:
         self.final = merged
         for future in self.futures:
             future.cancel()
+        # The filter is useless once the unit's verdict is merged; free
+        # its segment now instead of holding it for the whole campaign.
+        self.release_filter()
         return True
 
 
@@ -434,64 +501,94 @@ def _run_parallel(
         max_workers = max(1, min(n_workers, total_root_shards))
     pending: set = set()
     owner: dict = {}  # future -> (unit state, (root position, sub position))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for state in states:
-            if deadline is not None and time.monotonic() >= deadline:
-                state.final = _budget_outcome()
-                sink.offer(state.index, state.final)
-                continue
-            # Plan and submit in *serial* order (last slot first, the LIFO
-            # exploration order): a serially-early root the planner
-            # settles in-process with a non-proof kills its siblings
-            # before any of their planning or submission work is paid.
-            for root_pos in reversed(range(len(state.slots))):
-                if state.try_finalize():
-                    break  # serially-earlier slots already decided the unit
-                slot = state.slots[root_pos]
-                if split[state.index] and slot.plan_subroot():
-                    continue  # settled in-process by the expansion
-                if slot.expansion is None:
-                    shard_futures = [(None, pool.submit(_run_shard, slot.subtask))]
-                else:
-                    shard_futures = [
-                        (sub_pos, pool.submit(_run_subroot_shard, slot.subtask, entry))
-                        for sub_pos, entry in enumerate(slot.expansion.entries)
-                    ]
-                for sub_pos, future in shard_futures:
-                    state.futures[future] = (root_pos, sub_pos)
-                    owner[future] = (state, (root_pos, sub_pos))
-                    pending.add(future)
-                    if sub_pos is not None:
-                        slot.futures.append(future)
-            # Zero-root tasks and units fully settled while planning
-            # (first-cycle attacks, empty frontiers) finalize immediately.
-            if state.try_finalize():
-                sink.offer(state.index, state.final)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                state, (root_pos, sub_pos) = owner.pop(future)
-                if future.cancelled() or state.final is not None:
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for state in states:
+                if deadline is not None and time.monotonic() >= deadline:
+                    state.final = _budget_outcome()
+                    sink.offer(state.index, state.final)
                     continue
-                slot = state.slots[root_pos]
-                if sub_pos is None:
-                    slot.whole = future.result()
-                else:
-                    slot.sub_outcomes[sub_pos] = future.result()
+                if state.unit.task.shared_visited:
+                    try:
+                        state.vfilter = SharedVisitedFilter.create()
+                    except (OSError, ImportError):
+                        state.vfilter = None  # degrade to unshared (sound)
+                # Plan and submit in *serial* order (last slot first, the
+                # LIFO exploration order): a serially-early root the
+                # planner settles in-process with a non-proof kills its
+                # siblings before any of their planning or submission work
+                # is paid.
+                for root_pos in reversed(range(len(state.slots))):
+                    if state.try_finalize():
+                        break  # serially-earlier slots decided the unit
+                    slot = state.slots[root_pos]
+                    if split[state.index] and slot.plan_subroot():
+                        continue  # settled in-process by the expansion
+                    if slot.expansion is None:
+                        shard_futures = [
+                            (
+                                None,
+                                pool.submit(
+                                    _run_shard, slot.subtask, state.filter_name
+                                ),
+                            )
+                        ]
+                    else:
+                        shard_futures = [
+                            (
+                                sub_pos,
+                                pool.submit(
+                                    _run_subroot_shard,
+                                    slot.subtask,
+                                    entry,
+                                    state.filter_name,
+                                ),
+                            )
+                            for sub_pos, entry in enumerate(
+                                slot.expansion.entries
+                            )
+                        ]
+                    for sub_pos, future in shard_futures:
+                        state.futures[future] = (root_pos, sub_pos)
+                        owner[future] = (state, (root_pos, sub_pos))
+                        pending.add(future)
+                        if sub_pos is not None:
+                            slot.futures.append(future)
+                # Zero-root tasks and units fully settled while planning
+                # (first-cycle attacks, empty frontiers) finalize
+                # immediately.
                 if state.try_finalize():
                     sink.offer(state.index, state.final)
-                else:
-                    slot.cancel_if_decided()
-            pending = {f for f in pending if not f.cancelled()}
-    for state in states:
-        if state.final is None:  # every shard cancelled under it
-            for slot in state.slots:
-                slot.fill_pending_with_budget()
-            state.final = _merge_serial(
-                [slot.outcome() for slot in state.slots]
-            )
-            sink.offer(state.index, state.final)
-    return [state.final for state in states]
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    state, (root_pos, sub_pos) = owner.pop(future)
+                    if future.cancelled() or state.final is not None:
+                        continue
+                    slot = state.slots[root_pos]
+                    if sub_pos is None:
+                        slot.whole = future.result()
+                    else:
+                        slot.sub_outcomes[sub_pos] = future.result()
+                    if state.try_finalize():
+                        sink.offer(state.index, state.final)
+                    else:
+                        slot.cancel_if_decided()
+                pending = {f for f in pending if not f.cancelled()}
+        for state in states:
+            if state.final is None:  # every shard cancelled under it
+                for slot in state.slots:
+                    slot.fill_pending_with_budget()
+                state.final = _merge_serial(
+                    [slot.outcome() for slot in state.slots]
+                )
+                sink.offer(state.index, state.final)
+        return [state.final for state in states]
+    finally:
+        # Filters are normally freed as their unit finalizes; this sweeps
+        # whatever an abort or cancellation left behind.
+        for state in states:
+            state.release_filter()
 
 
 def verify_sharded(

@@ -78,6 +78,18 @@ class Product(Protocol):
 
     def restore(self, snap: tuple) -> None: ...
 
+    def mirror_snapshot(self, snap: tuple) -> tuple:
+        """The snapshot with the two secret-pair copies swapped.
+
+        Products are symmetric under exchanging the copies (same factory,
+        same checking logic on both sides), so the mirror of a reachable
+        state of root ``(A, B)`` is a reachable state of root ``(B, A)``
+        with identical verdict structure below it.  The explorer's
+        ``shared_visited`` mode keys on mirror-canonical snapshots to
+        share subtree work across orientation-symmetric roots.
+        """
+        ...
+
 
 def _check_assumptions(
     assumptions: Iterable[Assumption], outputs: Iterable[CycleOutput]
@@ -115,9 +127,9 @@ class ShadowProduct:
 
     def fetch_requests(self) -> list[FetchRequest]:
         """Fetch demands of the unpaused machines (gated in phase 2)."""
-        if self.shadow.suppress_fetch():
+        gated, pauses = self.shadow.clock_control()
+        if gated:
             return []
-        pauses = self.shadow.pauses()
         requests = []
         for index, machine in enumerate(self.machines):
             if pauses[index]:
@@ -137,33 +149,33 @@ class ShadowProduct:
 
     def step_cycle(self, bundles: Sequence[FetchBundle | None]) -> StepResult:
         """Clock the product one cycle and evaluate assume/assert."""
+        machine0, machine1 = self.machines
         pauses = self.shadow.pauses()
-        outputs: list[CycleOutput] = []
-        stepped: list[bool] = []
-        for index, machine in enumerate(self.machines):
-            if pauses[index]:
-                outputs.append(
-                    CycleOutput(commits=(), membus=(), halted=machine.halted)
-                )
-                stepped.append(False)
-            else:
-                outputs.append(machine.step(bundles[index]))
-                stepped.append(True)
-        self.last_outputs = tuple(outputs)
-        reason = _check_assumptions(self.assumptions, outputs)
-        if reason is not None:
-            return StepResult(pruned=True, failed=False, reason=reason)
+        # Hot path: in phase 1 (and phase 2 with realigned queues) nothing
+        # pauses, so skip the per-machine gating scaffolding entirely.
+        if pauses[0] or pauses[1]:
+            outputs = (
+                CycleOutput(commits=(), membus=(), halted=machine0.halted)
+                if pauses[0]
+                else machine0.step(bundles[0]),
+                CycleOutput(commits=(), membus=(), halted=machine1.halted)
+                if pauses[1]
+                else machine1.step(bundles[1]),
+            )
+            stepped = (not pauses[0], not pauses[1])
+        else:
+            outputs = (machine0.step(bundles[0]), machine1.step(bundles[1]))
+            stepped = (True, True)
+        self.last_outputs = outputs
+        if self.assumptions:
+            reason = _check_assumptions(self.assumptions, outputs)
+            if reason is not None:
+                return StepResult(pruned=True, failed=False, reason=reason)
         verdict = self.shadow.on_cycle(
-            (outputs[0], outputs[1]),
-            (
-                self.machines[0].max_inflight_seq(),
-                self.machines[1].max_inflight_seq(),
-            ),
-            (
-                self.machines[0].min_inflight_seq(),
-                self.machines[1].min_inflight_seq(),
-            ),
-            (stepped[0], stepped[1]),
+            outputs,
+            (machine0.max_inflight_seq(), machine1.max_inflight_seq()),
+            (machine0.min_inflight_seq(), machine1.min_inflight_seq()),
+            stepped,
         )
         if verdict.assume_violated:
             return StepResult(pruned=True, failed=False, reason="contract")
@@ -191,11 +203,11 @@ class ShadowProduct:
 
     def snapshot(self) -> tuple:
         """Canonical product state (machine snapshots rebase internally)."""
-        bases = (self.machines[0].seq_base(), self.machines[1].seq_base())
+        machine0, machine1 = self.machines
         return (
-            self.machines[0].snapshot(),
-            self.machines[1].snapshot(),
-            self.shadow.snapshot(bases),
+            machine0.snapshot(),
+            machine1.snapshot(),
+            self.shadow.snapshot((machine0.seq_base(), machine1.seq_base())),
         )
 
     def restore(self, snap: tuple) -> None:
@@ -205,6 +217,16 @@ class ShadowProduct:
         # After machine restore all sequence numbers are already relative,
         # so the shadow state restores against zero bases.
         self.shadow.restore(snap[2], (0, 0))
+
+    def mirror_snapshot(self, snap: tuple) -> tuple:
+        """Swap the two machine copies (and the shadow's per-side state)."""
+        machine0, machine1, shadow = snap
+        phase, targets, pend0, pend1 = shadow
+        return (
+            machine1,
+            machine0,
+            (phase, (targets[1], targets[0]), pend1, pend0),
+        )
 
 
 class BaselineProduct:
@@ -295,3 +317,8 @@ class BaselineProduct:
         for index in range(4):
             self.machines[index].restore(snap[index])
         self._pending = (list(snap[4]), list(snap[5]))
+
+    def mirror_snapshot(self, snap: tuple) -> tuple:
+        """Swap the paired copies: both ISA machines and both OoO copies."""
+        isa0, isa1, cpu0, cpu1, pend0, pend1 = snap
+        return (isa1, isa0, cpu1, cpu0, pend1, pend0)

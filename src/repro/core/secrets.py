@@ -5,7 +5,16 @@ enumerates this quantifier explicitly as search *roots*:
 
 - ``"all"``: every unordered pair of distinct secret-region images over
   the value domain -- a *complete* instantiation of the quantifier within
-  the modeled domain (the default when the image count is small).
+  the modeled domain (the default when the image count is small).  The
+  unordered reduction is sound because the product is symmetric under
+  swapping the two copies: an attack distinguishing ``(A, B)`` mirrors to
+  one distinguishing ``(B, A)``.
+- ``"ordered"``: every *ordered* pair of distinct images -- the
+  quantifier exactly as Eq. (1) writes it, twice the roots of ``"all"``.
+  Useful as the workload where the explorer's ``shared_visited`` mode
+  proves the swap symmetry automatically: mirror roots canonicalize onto
+  each other's visited states, collapsing the ordered instantiation back
+  to unordered cost.
 - ``"single"``: pairs that differ in exactly one secret word, all other
   secret words zero -- the sweep-friendly reduction used by the Fig. 2
   benchmarks (recorded in EXPERIMENTS.md).
@@ -30,8 +39,8 @@ def secret_memory_pairs(
     public_values: tuple[int, ...] | None = None,
 ) -> list[Root]:
     """Enumerate the secret-pair roots for a verification task."""
-    if mode not in ("auto", "all", "single"):
-        raise ValueError("mode must be auto, all or single")
+    if mode not in ("auto", "all", "ordered", "single"):
+        raise ValueError("mode must be auto, all, ordered or single")
     public = public_values if public_values is not None else (0,) * params.n_public
     if len(public) != params.n_public:
         raise ValueError("public image has the wrong size")
@@ -45,6 +54,9 @@ def secret_memory_pairs(
     if mode == "all":
         images = list(itertools.product(range(domain), repeat=n_secret))
         pairs = list(itertools.combinations(images, 2))
+    elif mode == "ordered":
+        images = list(itertools.product(range(domain), repeat=n_secret))
+        pairs = list(itertools.permutations(images, 2))
     else:
         for cell in range(n_secret):
             for low, high in itertools.combinations(range(domain), 2):
@@ -56,3 +68,22 @@ def secret_memory_pairs(
         label = f"sec{image_a}-vs-{image_b}"
         roots.append(Root(label=label, dmem_pair=(public + image_a, public + image_b)))
     return roots
+
+
+def with_mirrored_roots(roots: list[Root]) -> list[Root]:
+    """Each root followed by its orientation-swapped mirror.
+
+    Turns an unordered root list into the ordered-quantifier view: for
+    every ``(A, B)`` the list also quantifies ``(B, A)``.  Verdicts are
+    unchanged (copy-swap symmetry); the doubled work is exactly what the
+    explorer's ``shared_visited`` mode exists to collapse, so benchmarks
+    use this to measure cross-root sharing on real sweep cells.
+    """
+    mirrored: list[Root] = []
+    for root in roots:
+        first, second = root.dmem_pair
+        mirrored.append(root)
+        mirrored.append(
+            Root(label=f"{root.label}-mirror", dmem_pair=(second, first))
+        )
+    return mirrored

@@ -108,6 +108,18 @@ class ContractShadowLogic:
         """Whether new instruction fetch is gated (phase 2)."""
         return self.gate_fetch and self._phase == self.PHASE_DRAIN
 
+    def clock_control(self) -> tuple[bool, tuple[bool, bool]]:
+        """(fetch gated, per-machine pauses) for this cycle, in one probe.
+
+        The phase-1 fast path -- nothing gates, nothing pauses in
+        lockstep -- lives *here*, next to the state that defines it, so
+        products can take it without re-encoding shadow-logic invariants
+        (this is the hot query: once per search-node expansion).
+        """
+        if self._phase == self.PHASE_LOCKSTEP:
+            return (False, (False, False))
+        return (self.suppress_fetch(), self.pauses())
+
     # ------------------------------------------------------------------
     # Per-cycle monitoring
     # ------------------------------------------------------------------
@@ -129,19 +141,27 @@ class ContractShadowLogic:
                 the cycle (``min_inflight_seq``; ``None`` = empty ROB).
             stepped: which machines were actually clocked.
         """
-        for side in (0, 1):
-            if not stepped[side]:
-                continue
-            for record in outputs[side].commits:
-                obs = self.contract.isa_obs(record)
+        pending0, pending1 = self._pending
+        isa_obs = self.contract.isa_obs
+        if stepped[0]:
+            for record in outputs[0].commits:
+                obs = isa_obs(record)
                 if obs is not None:
-                    self._pending[side].append(obs)
+                    pending0.append(obs)
+        if stepped[1]:
+            for record in outputs[1].commits:
+                obs = isa_obs(record)
+                if obs is not None:
+                    pending1.append(obs)
         # Contract constraint check: match derived ISA traces in order.
-        while self._pending[0] and self._pending[1]:
-            if self._pending[0].popleft() != self._pending[1].popleft():
+        while pending0 and pending1:
+            if pending0.popleft() != pending1.popleft():
                 return ShadowVerdict(assume_violated=True, assertion_failed=False)
         if self._phase == self.PHASE_LOCKSTEP:
-            if outputs[0].uarch_obs != outputs[1].uarch_obs:
+            out0, out1 = outputs
+            # Inline ``uarch_obs`` comparison (no tuple allocation): the
+            # observation is (membus addresses, commit count).
+            if out0.membus != out1.membus or len(out0.commits) != len(out1.commits):
                 # First microarchitectural deviation: record the ROB tails
                 # (Listing 1 lines 11-15) and switch to phase 2.
                 self._phase = self.PHASE_DRAIN
@@ -166,13 +186,13 @@ class ContractShadowLogic:
     # ------------------------------------------------------------------
     def snapshot(self, bases: tuple[int, int]) -> tuple:
         """Canonical hashable state, rebased per machine."""
-        targets = []
-        for side in (0, 1):
-            target = self._drain_targets[side]
-            targets.append(None if target is None else target - bases[side])
+        target0, target1 = self._drain_targets
         return (
             self._phase,
-            tuple(targets),
+            (
+                None if target0 is None else target0 - bases[0],
+                None if target1 is None else target1 - bases[1],
+            ),
             tuple(self._pending[0]),
             tuple(self._pending[1]),
         )

@@ -46,6 +46,16 @@ class VerificationTask:
             recorded in EXPERIMENTS.md).
         gate_fetch: the shadow logic's phase-2 fetch gate (ablation knob;
             behaviour-preserving, affects only state-space size).
+        shared_visited: opt-in cross-root visited sharing.  Visited keys
+            canonicalize modulo the copy-swap symmetry, so
+            orientation-symmetric roots (``(A, B)`` vs ``(B, A)``, the
+            ordered Eq. (1) quantifier) share subtree work; verdict kinds
+            are preserved, explored-state counts may shrink, and
+            bit-identical ``SearchStats`` are deliberately given up (see
+            ``repro.mc.explorer``).  In multiprocess campaigns the
+            scheduler additionally wires the unit's shards to one
+            cross-process fingerprint filter
+            (``repro.mc.shared_filter``).
     """
 
     core_factory: Callable[[], object]
@@ -57,6 +67,7 @@ class VerificationTask:
     limits: SearchLimits = field(default_factory=SearchLimits)
     roots: list[Root] | None = None
     gate_fetch: bool = True
+    shared_visited: bool = False
 
     def build_product(self) -> Product:
         """Instantiate the design under verification."""
@@ -81,9 +92,22 @@ class VerificationTask:
         return secret_memory_pairs(params, self.secret_mode)
 
 
-def verify(task: VerificationTask) -> Outcome:
-    """Run one verification task to proof, attack or timeout."""
+def verify(task: VerificationTask, visited_filter=None) -> Outcome:
+    """Run one verification task to proof, attack or timeout.
+
+    ``visited_filter`` optionally plugs a cross-process
+    :class:`repro.mc.shared_filter.SharedVisitedFilter` into the search;
+    it is only consulted when ``task.shared_visited`` is on (the campaign
+    scheduler attaches one per unit so sibling shards share work).
+    """
     product = task.build_product()
     roots = task.build_roots()
-    explorer = Explorer(product, task.space, roots, task.limits)
+    explorer = Explorer(
+        product,
+        task.space,
+        roots,
+        task.limits,
+        shared_visited=task.shared_visited,
+        visited_filter=visited_filter,
+    )
     return explorer.run()

@@ -59,21 +59,34 @@ class ExecResult(NamedTuple):
     halt: bool
 
 
-def _result(pc: int, **overrides: object) -> ExecResult:
-    base = {
-        "wb_reg": None,
-        "wb_value": None,
-        "addr": None,
-        "mem_word": None,
-        "taken": None,
-        "target": pc + 1,
-        "mul_ops": None,
-        "exception": None,
-        "transient_value": None,
-        "halt": False,
-    }
-    base.update(overrides)
-    return ExecResult(**base)  # type: ignore[arg-type]
+def _result(
+    pc: int,
+    *,
+    wb_reg: int | None = None,
+    wb_value: int | None = None,
+    addr: int | None = None,
+    mem_word: int | None = None,
+    taken: bool | None = None,
+    target: int | None = None,
+    mul_ops: tuple[int, int] | None = None,
+    exception: str | None = None,
+    transient_value: int | None = None,
+    halt: bool = False,
+) -> ExecResult:
+    # Built positionally (one tuple allocation): this constructor runs once
+    # per issued instruction of the model checker's whole search.
+    return ExecResult(
+        wb_reg,
+        wb_value,
+        addr,
+        mem_word,
+        taken,
+        pc + 1 if target is None else target,
+        mul_ops,
+        exception,
+        transient_value,
+        halt,
+    )
 
 
 def execute(

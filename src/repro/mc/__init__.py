@@ -25,14 +25,20 @@ from repro.mc.explorer import (
     RootExpansion,
     SearchLimits,
 )
+from repro.mc.intern import InternTable, deep_sizeof, stable_fingerprint
 from repro.mc.result import Counterexample, Outcome
+from repro.mc.shared_filter import SharedVisitedFilter
 
 __all__ = [
     "Counterexample",
     "Environment",
     "Explorer",
     "FrontierEntry",
+    "InternTable",
     "Outcome",
     "RootExpansion",
     "SearchLimits",
+    "SharedVisitedFilter",
+    "deep_sizeof",
+    "stable_fingerprint",
 ]

@@ -13,11 +13,23 @@ along a search path:
 
 Environments are immutable and hashable; extending one returns a new
 environment, so search nodes can share structure.
+
+Hot-path notes: environments appear in every visited-set key of the
+model checker and are consulted once per fetch request per choice, so
+this class is tuned for the explorer's inner loop:
+
+- equality and ordering of the *value* stay exactly what the historical
+  ``NamedTuple`` implementation had -- ``(imem, preds)`` decides both
+  ``==`` and ``hash`` -- but the hash is computed once and cached (a
+  search node's environment is hashed once per visited-set key instead
+  of re-walking the instruction tuple every time), and
+- the predictor oracle is backed by a dict (shared structurally across
+  the environments of one search path), so :meth:`prediction` is a
+  single dict probe instead of the historical linear scan over
+  ``preds``.
 """
 
 from __future__ import annotations
-
-from typing import NamedTuple
 
 from repro.isa.instruction import HALT, Instruction
 from repro.isa.program import Program
@@ -26,43 +38,99 @@ from repro.isa.program import Program
 PredKey = tuple[int, int]
 
 
-class Environment(NamedTuple):
-    """All input nondeterminism resolved so far along one search path."""
+class Environment:
+    """All input nondeterminism resolved so far along one search path.
 
-    imem: tuple[Instruction | None, ...]
-    preds: tuple[tuple[PredKey, bool], ...]
+    Value semantics are carried by the two public attributes ``imem``
+    (tuple of instructions / ``None``) and ``preds`` (sorted tuple of
+    ``(PredKey, taken)`` pairs); two environments are equal iff those
+    match, exactly like the historical ``NamedTuple``.
+    """
+
+    __slots__ = ("imem", "preds", "_pred_map", "_hash")
+
+    def __init__(
+        self,
+        imem: tuple[Instruction | None, ...],
+        preds: tuple[tuple[PredKey, bool], ...] = (),
+    ):
+        self.imem = imem
+        self.preds = preds
+        self._pred_map = dict(preds)
+        self._hash: int | None = None
 
     @classmethod
     def empty(cls, imem_size: int) -> "Environment":
         """A fully symbolic environment."""
         return cls(imem=(None,) * imem_size, preds=())
 
+    # ------------------------------------------------------------------
+    # Value semantics (the visited-set contract)
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((self.imem, self.preds))
+            self._hash = cached
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Environment):
+            return NotImplemented
+        return self.imem == other.imem and self.preds == other.preds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Environment(imem={self.imem!r}, preds={self.preds!r})"
+
+    def __reduce__(self):
+        # Pickle only the value; the dict and cached hash rebuild locally
+        # (keeps FrontierEntry / Counterexample pickles small).
+        return (Environment, (self.imem, self.preds))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def slot(self, pc: int) -> Instruction | None:
         """Instruction at a pc: concrete, ``HALT`` out of range, or ``None``."""
         if 0 <= pc < len(self.imem):
             return self.imem[pc]
         return HALT
 
+    def prediction(self, key: PredKey) -> bool | None:
+        """Oracle answer for a fetch, if already concretized."""
+        return self._pred_map.get(key)
+
+    # ------------------------------------------------------------------
+    # Extensions (immutable: each returns a new environment)
+    # ------------------------------------------------------------------
     def with_slots(self, assignments: dict[int, Instruction]) -> "Environment":
         """Concretize instruction-memory slots."""
         imem = list(self.imem)
         for pc, inst in assignments.items():
             imem[pc] = inst
-        return self._replace(imem=tuple(imem))
-
-    def prediction(self, key: PredKey) -> bool | None:
-        """Oracle answer for a fetch, if already concretized."""
-        for stored, taken in self.preds:
-            if stored == key:
-                return taken
-        return None
+        env = Environment.__new__(Environment)
+        env.imem = tuple(imem)
+        env.preds = self.preds
+        env._pred_map = self._pred_map  # shared: never mutated in place
+        env._hash = None
+        return env
 
     def with_predictions(self, assignments: dict[PredKey, bool]) -> "Environment":
         """Concretize predictor-oracle entries."""
-        merged = dict(self.preds)
+        merged = dict(self._pred_map)
         merged.update(assignments)
-        return self._replace(preds=tuple(sorted(merged.items())))
+        env = Environment.__new__(Environment)
+        env.imem = self.imem
+        env.preds = tuple(sorted(merged.items()))
+        env._pred_map = merged
+        env._hash = None
+        return env
 
+    # ------------------------------------------------------------------
+    # Denotations
+    # ------------------------------------------------------------------
     def program(self) -> Program:
         """The concrete program this environment denotes.
 
@@ -73,4 +141,4 @@ class Environment(NamedTuple):
 
     def predictor_map(self) -> dict[PredKey, bool]:
         """The concretized oracle entries as a dict."""
-        return dict(self.preds)
+        return dict(self._pred_map)

@@ -20,6 +20,40 @@ a depth-first traversal of the product transition system with:
   :class:`RootExpansion`) and :meth:`Explorer.run_seeded` searches one
   such slice, the shard boundary ``repro.campaign`` uses to parallelize
   *inside* a single-root proof.
+
+Hot-path engineering (the state engine)
+---------------------------------------
+The DFS expands hundreds of thousands of states per proof, so the state
+handling is deliberately tuned; the frozen pre-overhaul engine lives in
+:mod:`repro.mc.legacy` and the equivalence suite pins the two bit-equal:
+
+- **Interned, fingerprinted snapshots**: every product snapshot is
+  hash-consed through an :class:`repro.mc.intern.InternTable`.  Visited
+  keys carry the table's small integer id instead of the deep nested
+  tuple (hashed once at interning time, never re-walked), duplicate
+  snapshots collapse onto one canonical object, and identity against
+  that canonical object tells the engine when the product *already*
+  embodies a popped state.
+- **Restore discipline**: each expanded child costs exactly one
+  ``restore`` + ``step_cycle``.  The historical engine restored once at
+  choice-enumeration start and again per child; now fetch requests are
+  read once per node, the first child steps straight off the node's
+  restored state, and a node popped right after its own snapshot was
+  taken (the common DFS descent) skips the node restore entirely.
+- **Cross-root visited sharing** (``shared_visited=True``, opt-in):
+  orientation-symmetric secret-pair roots -- ``(A, B)`` vs ``(B, A)``,
+  the ordered reading of the paper's Eq. (1) quantifier -- explore
+  mirror-image subtrees.  In shared mode visited keys canonicalize to a
+  root-independent form (dmem pair sorted, machine copies swapped via
+  the product's ``mirror_snapshot``), so the mirror root's subtree
+  dedupes against work already done.  Verdicts are preserved (the
+  product is symmetric under copy swap); explored-state counts may
+  legitimately shrink, which is the point.  An optional cross-process
+  :class:`repro.mc.shared_filter.SharedVisitedFilter` extends the same
+  sharing across the worker processes of one campaign unit.
+
+Default mode stays bit-identical to the historical engine: verdicts,
+counterexamples and ``SearchStats`` alike.
 """
 
 from __future__ import annotations
@@ -31,8 +65,9 @@ from typing import Sequence
 
 from repro.events import FetchBundle
 from repro.isa.encoding import EncodingSpace
-from repro.isa.instruction import HALT, Instruction, Opcode
+from repro.isa.instruction import HALT, Opcode
 from repro.mc.env import Environment
+from repro.mc.intern import InternTable, deep_sizeof, stable_fingerprint
 from repro.mc.result import (
     ATTACK,
     PROVED,
@@ -168,22 +203,65 @@ class Explorer:
         space: EncodingSpace,
         roots: list[Root],
         limits: SearchLimits = SearchLimits(),
+        *,
+        shared_visited: bool = False,
+        visited_filter=None,
     ):
+        """Build a search engine over one product.
+
+        ``shared_visited`` switches visited keys to the root-canonical
+        (mirror-folded) form so orientation-symmetric roots share subtree
+        work; verdict kinds are preserved, state counts may shrink (see
+        the module docstring).  ``visited_filter`` optionally plugs a
+        :class:`repro.mc.shared_filter.SharedVisitedFilter` in on top, so
+        the sharing crosses worker-process boundaries; it is consulted
+        only when ``shared_visited`` is on.
+        """
         self.product = product
         self.space = space
         self.roots = roots
         self.limits = limits
         self.universe = space.instructions()
+        self.shared_visited = shared_visited
+        self.visited_filter = visited_filter
+        self._intern = InternTable()
+        self._last_visited: set | None = None
+        # Root canonicalization for shared mode: sort each root's memory
+        # pair; a flipped pair means states mirror (machine copies swap)
+        # before keying.  Products without mirror support simply never
+        # fold, which degrades sharing but stays sound.
+        self._mirror = getattr(product, "mirror_snapshot", None)
+        canon_pairs: list[tuple] = []
+        mirrored: list[bool] = []
+        canon_ids: list[int] = []
+        pair_ids: dict[tuple, int] = {}
+        for root in roots:
+            first, second = root.dmem_pair
+            if self._mirror is not None and second < first:
+                pair, flip = (second, first), True
+            else:
+                pair, flip = (first, second), False
+            canon_pairs.append(pair)
+            mirrored.append(flip)
+            canon_ids.append(pair_ids.setdefault(pair, len(pair_ids)))
+        self._canon_pairs = canon_pairs
+        self._mirrored = mirrored
+        self._canon_ids = canon_ids
 
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
     def run(self) -> Outcome:
         """Search every root; return proof, first attack, or timeout."""
-        stack: list[tuple[int, Environment, tuple, int]] = []
+        stack: list[tuple] = []
         imem_size = self.product.params.imem_size
         for root_index, root in enumerate(self.roots):
             self.product.reset(root.dmem_pair)
-            stack.append(
-                (root_index, Environment.empty(imem_size), self.product.snapshot(), 0)
+            env = Environment.empty(imem_size)
+            snap, kref, sid = self._intern_state(
+                root_index, self.product.snapshot()
             )
+            stack.append((root_index, env, snap, kref, sid, 0))
         return self._search(stack)
 
     def run_seeded(self, entries: Sequence[FrontierEntry]) -> Outcome:
@@ -198,7 +276,10 @@ class Explorer:
         """
         if len(self.roots) != 1:
             raise ValueError("seeded search requires exactly one root")
-        stack = [(0, entry.env, entry.snap, entry.depth) for entry in entries]
+        stack = []
+        for entry in entries:
+            snap, kref, sid = self._intern_state(0, entry.snap)
+            stack.append((0, entry.env, snap, kref, sid, entry.depth))
         return self._search(stack)
 
     def expand_root(self) -> RootExpansion:
@@ -222,8 +303,12 @@ class Explorer:
             decided = Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
             return RootExpansion(decided, stats, budget.elapsed(), ())
         entries: list[FrontierEntry] = []
-        for child_env, bundles in self._choices(env, snap):
-            self.product.restore(snap)
+        requests = self.product.fetch_requests()
+        stepped = False
+        for child_env, bundles in self._choices(env, requests):
+            if stepped:
+                self.product.restore(snap)
+            stepped = True
             result = self.product.step_cycle(bundles)
             transitions += 1
             if result.pruned:
@@ -255,35 +340,129 @@ class Explorer:
         stats = SearchStats(1, transitions, pruned, 0, prune_reasons)
         return RootExpansion(None, stats, budget.elapsed(), tuple(entries))
 
-    def _search(self, stack: list[tuple[int, Environment, tuple, int]]) -> Outcome:
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def visited_footprint(self) -> tuple[int, int]:
+        """(key count, approx deep bytes) of the last run's visited state.
+
+        Counts the visited keys *and* the intern table backing them, so
+        the number is comparable to the legacy engine's deep-tuple
+        visited set (``repro.mc.legacy``).  Shared substructure counts
+        once -- which is exactly the saving hash-consing buys.
+        """
+        visited = self._last_visited if self._last_visited is not None else set()
+        seen: set[int] = set()
+        total = deep_sizeof(visited, seen)
+        total += self._intern.approx_bytes(seen)
+        return len(visited), total
+
+    # ------------------------------------------------------------------
+    # The DFS core
+    # ------------------------------------------------------------------
+    def _intern_state(self, root_index: int, raw_snap: tuple):
+        """Hash-cons one snapshot; returns (canonical, key snapshot, id).
+
+        In shared mode the key snapshot of a flipped root is the mirror
+        image (machine copies swapped), interned in the same table so
+        mirror states of paired roots collapse onto one id.
+        """
+        snap, sid = self._intern.intern(raw_snap)
+        kref = snap
+        if (
+            self.shared_visited
+            and self._mirror is not None
+            and self._mirrored[root_index]
+        ):
+            kref, sid = self._intern.intern(self._mirror(snap))
+        return snap, kref, sid
+
+    def _search(self, stack: list[tuple]) -> Outcome:
         """The DFS loop over an already-seeded stack."""
         budget = _Budget(self.limits)
+        product = self.product
+        restore = product.restore
+        step_cycle = product.step_cycle
+        quiescent = product.quiescent
+        snapshot = product.snapshot
+        fetch_requests = product.fetch_requests
+        intern_state = self._intern_state
+        choices = self._choices
+        shared = self.shared_visited
+        vfilter = self.visited_filter if shared else None
+        canon_ids = self._canon_ids
+        if vfilter is not None:
+            # Component fingerprints are cached by object identity: kref
+            # objects are interned canonicals and env objects live in
+            # visited keys, so both stay alive (ids stable) and repeat
+            # across many states -- without the cache every expansion
+            # would re-pickle the full deep snapshot, reintroducing the
+            # per-state walk interning exists to avoid.
+            pair_fps = [stable_fingerprint(pair) for pair in self._canon_pairs]
+            env_fps: dict[int, int] = {}
+            snap_fps: dict[int, int] = {}
         visited: set = set()
+        self._last_visited = visited
         states = transitions = pruned = max_depth = 0
         prune_reasons: dict[str, int] = {}
         # Data memories are *not* part of machine snapshots (they are
         # constant along a root's subtree), so the product must be re-reset
         # whenever the search crosses into a different root's subtree.
         active_root: int | None = None
+        # The snapshot object (canonical, so identity suffices) the
+        # product currently embodies; ``None`` when unknown.  Lets the
+        # engine skip the node restore on the common DFS descent, where
+        # the popped node is exactly the child just stepped into.
+        current = None
         while stack:
-            root_index, env, snap, depth = stack.pop()
-            key = (root_index, env, snap)
+            root_index, env, snap, kref, sid, depth = stack.pop()
+            if shared:
+                key = (canon_ids[root_index], env, sid)
+            else:
+                key = (root_index, env, sid)
             if key in visited:
                 continue
+            if vfilter is not None:
+                env_fp = env_fps.get(id(env))
+                if env_fp is None:
+                    env_fp = stable_fingerprint((env.imem, env.preds))
+                    env_fps[id(env)] = env_fp
+                kref_fp = snap_fps.get(id(kref))
+                if kref_fp is None:
+                    kref_fp = stable_fingerprint(kref)
+                    snap_fps[id(kref)] = kref_fp
+                fingerprint = stable_fingerprint(
+                    (pair_fps[root_index], env_fp, kref_fp)
+                )
+                if fingerprint in vfilter:
+                    # Another shard of this unit owns the subtree; its
+                    # outcome covers it (see repro.mc.shared_filter).
+                    visited.add(key)
+                    continue
+                vfilter.add(fingerprint)
             visited.add(key)
             if root_index != active_root:
-                self.product.reset(self.roots[root_index].dmem_pair)
+                product.reset(self.roots[root_index].dmem_pair)
                 active_root = root_index
+                current = None
             states += 1
-            max_depth = max(max_depth, depth)
+            if depth > max_depth:
+                max_depth = depth
             if budget.exhausted(states):
                 stats = SearchStats(
                     states, transitions, pruned, max_depth, prune_reasons
                 )
                 return Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
-            for child_env, bundles in self._choices(env, snap):
-                self.product.restore(snap)
-                result = self.product.step_cycle(bundles)
+            if snap is not current:
+                restore(snap)
+            requests = fetch_requests()
+            stepped = False
+            for child_env, bundles in choices(env, requests):
+                if stepped:
+                    restore(snap)
+                stepped = True
+                current = None  # stepping leaves the node state
+                result = step_cycle(bundles)
                 transitions += 1
                 if result.pruned:
                     pruned += 1
@@ -307,90 +486,102 @@ class Explorer:
                         stats=stats,
                         counterexample=cex,
                     )
-                if self.product.quiescent():
+                if quiescent():
                     continue  # terminal OK state
-                stack.append(
-                    (root_index, child_env, self.product.snapshot(), depth + 1)
+                child_snap, child_kref, child_id = intern_state(
+                    root_index, snapshot()
                 )
+                current = child_snap  # the product embodies the child now
+                stack.append(
+                    (root_index, child_env, child_snap, child_kref, child_id,
+                     depth + 1)
+                )
+            if not stepped:
+                current = snap  # no choices fired; still at the node
         stats = SearchStats(states, transitions, pruned, max_depth, prune_reasons)
         return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
 
     # ------------------------------------------------------------------
     # Nondeterministic-choice enumeration
     # ------------------------------------------------------------------
-    def _choices(self, env: Environment, snap: tuple):
+    def _choices(self, env: Environment, requests):
         """Yield (extended environment, fetch bundles) for one cycle.
 
         Branches over (a) instructions for symbolic slots fetched this
         cycle and (b) predictor-oracle bits for newly predicted branches.
+        The caller reads ``requests`` off the restored node state once;
+        this generator never touches the product, so the search loop owns
+        the restore discipline.  Yield order is bit-identical to the
+        legacy engine's (the equivalence contract).
         """
-        self.product.restore(snap)
-        requests = self.product.fetch_requests()
         n_slots = len(self.product.machines)
+        imem = env.imem
         # A fetch PC is enumerable only inside the modeled instruction
         # memory; ``len(env.imem)`` additionally guards seeded frontiers
         # whose environment models a smaller memory than the product's
         # parameters claim.  Everything else -- a wrapped or overflowed PC
         # from a mispredicted fetch included -- reads as ``HALT``, exactly
         # like running off the end of the program.
-        imem_size = min(self.product.params.imem_size, len(env.imem))
+        imem_size = min(self.product.params.imem_size, len(imem))
         open_pcs = sorted(
             {
                 req.pc
                 for req in requests
-                if 0 <= req.pc < imem_size and env.imem[req.pc] is None
+                if 0 <= req.pc < imem_size and imem[req.pc] is None
             }
         )
-        for insts in itertools.product(self.universe, repeat=len(open_pcs)):
+        iproduct = itertools.product
+        branch_op = Opcode.BRANCH
+        for insts in iproduct(self.universe, repeat=len(open_pcs)):
             env_i = env.with_slots(dict(zip(open_pcs, insts))) if open_pcs else env
+            imem_i = env_i.imem
+            prediction = env_i.prediction
             # Which fetches need a fresh predictor-oracle bit?
             open_keys: list[tuple[int, int]] = []
             for req in requests:
-                inst = self._fetched(env_i, req.pc, imem_size)
-                if inst.op != Opcode.BRANCH or req.predictor != "nondet":
+                pc = req.pc
+                if 0 <= pc < imem_size:
+                    inst = imem_i[pc]
+                    if inst is None:
+                        inst = HALT
+                else:
+                    inst = HALT
+                if inst.op is not branch_op or req.predictor != "nondet":
                     continue
-                key = (req.pc, req.occurrence)
-                if env_i.prediction(key) is None and key not in open_keys:
+                key = (pc, req.occurrence)
+                if prediction(key) is None and key not in open_keys:
                     open_keys.append(key)
-            for bits in itertools.product((False, True), repeat=len(open_keys)):
+            bit_sets = (
+                iproduct((False, True), repeat=len(open_keys))
+                if open_keys
+                else ((),)
+            )
+            for bits in bit_sets:
                 env_ip = (
                     env_i.with_predictions(dict(zip(open_keys, bits)))
                     if open_keys
                     else env_i
                 )
+                # Direct oracle access (the dict behind env.prediction):
+                # this loop runs once per transition of the whole search.
+                pred_map = env_ip._pred_map
                 bundles: list[FetchBundle | None] = [None] * n_slots
                 for req in requests:
-                    inst = self._fetched(env_ip, req.pc, imem_size)
-                    bundles[req.slot] = FetchBundle(
-                        pc=req.pc,
-                        inst=inst,
-                        predicted_taken=self._prediction(req, inst, env_ip),
-                    )
+                    pc = req.pc
+                    if 0 <= pc < imem_size:
+                        inst = imem_i[pc]
+                        if inst is None:
+                            inst = HALT
+                    else:
+                        inst = HALT
+                    predictor = req.predictor
+                    if inst.op is not branch_op or predictor == "none":
+                        taken = None
+                    elif predictor == "taken":
+                        taken = True
+                    elif predictor == "not_taken":
+                        taken = False
+                    else:
+                        taken = pred_map[(pc, req.occurrence)]
+                    bundles[req.slot] = FetchBundle(pc, inst, taken)
                 yield env_ip, bundles
-
-    @staticmethod
-    def _fetched(env: Environment, pc: int, imem_size: int) -> Instruction:
-        """The instruction a fetch at ``pc`` observes, never ``None``.
-
-        Any PC outside the enumerable range -- negative, wrapped, past the
-        modeled memory, or inside a slot the environment cannot concretize
-        -- fetches ``HALT``.
-        """
-        if not 0 <= pc < imem_size:
-            return HALT
-        inst = env.slot(pc)
-        return inst if inst is not None else HALT
-
-    @staticmethod
-    def _prediction(
-        req, inst: Instruction, env: Environment
-    ) -> bool | None:
-        if inst.op != Opcode.BRANCH or req.predictor == "none":
-            return None
-        if req.predictor == "taken":
-            return True
-        if req.predictor == "not_taken":
-            return False
-        taken = env.prediction((req.pc, req.occurrence))
-        assert taken is not None
-        return taken

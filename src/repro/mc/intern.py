@@ -1,0 +1,110 @@
+"""Hash-consing and fingerprinting for canonical search states.
+
+The explorer's visited set used to key on the full nested
+``(root_index, env, snap)`` tuples, re-walking every register file, ROB
+entry and shadow queue each time a key was hashed or compared.  This
+module supplies the two primitives the overhauled state engine keys on
+instead:
+
+- :class:`InternTable`: a hash-consing table.  Interning a snapshot
+  walks it **once** (the dict probe) and returns a *canonical* object
+  plus a small integer id.  Visited-set keys then carry the id -- a
+  machine word -- instead of the deep structure; duplicate snapshots
+  collapse onto one canonical object (revisits along different paths are
+  free to keep on the stack), and identity (``is``) against the
+  canonical object is a sound equality test, which the explorer uses to
+  skip redundant ``restore`` calls.
+- :func:`stable_fingerprint`: a process-independent 64-bit fingerprint
+  (BLAKE2b over the canonical pickle).  Interned ids are only meaningful
+  inside one process; the cross-process shared visited filter
+  (:mod:`repro.mc.shared_filter`) needs fingerprints that agree between
+  the worker processes of a campaign, which Python's salted builtin
+  ``hash`` does not provide.
+
+Determinism: intern ids are assigned in first-encounter order, so for a
+deterministic search the id stream -- and everything derived from it --
+is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from hashlib import blake2b
+from typing import Any, Iterable
+
+
+class InternTable:
+    """Hash-consing table mapping equal values onto one canonical object.
+
+    ``intern(value)`` returns ``(canonical, id)`` where ``canonical`` is
+    the first object interned that compares equal to ``value`` and
+    ``id`` is its dense index (0, 1, 2, ... in first-encounter order).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[Any, tuple[Any, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def intern(self, value) -> tuple[Any, int]:
+        """Hash-cons ``value``; one dict probe per call."""
+        entry = self._entries.get(value)
+        if entry is None:
+            entry = (value, len(self._entries))
+            self._entries[value] = entry
+        return entry
+
+    def canonical_values(self) -> Iterable[Any]:
+        """The canonical objects, in id order (dict preserves insertion)."""
+        return self._entries.keys()
+
+    def approx_bytes(self, seen: set[int] | None = None) -> int:
+        """Approximate deep footprint of the table (see :func:`deep_sizeof`)."""
+        return deep_sizeof(self._entries, seen)
+
+
+def stable_fingerprint(value) -> int:
+    """Process-independent 64-bit fingerprint of a picklable value.
+
+    BLAKE2b over the pickle of ``value``.  Pickling tuples of ints,
+    strings, ``None``, enums and named tuples is deterministic across
+    processes and interpreter restarts (unlike builtin ``hash``, which
+    is salted per process), so two campaign workers fingerprint the same
+    canonical state to the same word.  Collisions are possible at the
+    2^-64 scale -- which is why fingerprints only ever back the *opt-in*
+    ``shared_visited`` mode, never the default exact visited set.
+    """
+    digest = blake2b(
+        pickle.dumps(value, protocol=4), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def deep_sizeof(obj, seen: set[int] | None = None) -> int:
+    """Approximate deep memory footprint of a (mostly-tuple) structure.
+
+    Shared substructure is counted once (by object identity), which is
+    exactly what makes the measurement interesting for the visited set:
+    hash-consed snapshots share their guts, the historical deep-tuple
+    keys did not.  Used by the explorer-throughput benchmark to record
+    visited-set memory before/after interning.
+    """
+    if seen is None:
+        seen = set()
+    ident = id(obj)
+    if ident in seen:
+        return 0
+    seen.add(ident)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, seen)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, seen)
+            size += deep_sizeof(value, seen)
+    return size

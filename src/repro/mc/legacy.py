@@ -1,0 +1,222 @@
+"""The pre-overhaul state engine, frozen as the equivalence reference.
+
+This is the explicit-state DFS exactly as it stood before the interned,
+fingerprinted state engine landed in :mod:`repro.mc.explorer`: deep
+``(root_index, env, snap)`` visited keys re-hashed per expansion, a
+``restore`` at ``_choices`` generator start *plus* one per child, and a
+linear predictor-oracle scan hidden behind ``Environment.prediction``
+(the environment class itself is shared with the new engine; its value
+semantics are unchanged, so search behaviour here is bit-identical to
+the historical code).
+
+It exists for two jobs and must not grow features:
+
+- **equivalence**: ``tests/mc/test_engine_equivalence.py`` runs fig2 /
+  ablation / table2 grid slices through both engines and asserts
+  verdicts, counterexamples and ``SearchStats`` match bit for bit;
+- **throughput**: ``benchmarks/test_explorer_throughput.py`` measures
+  states/sec and visited-set memory of old vs new and records the ratio
+  in ``BENCH_explorer.json``.
+
+The only additions over the historical code are ``visited_footprint()``
+(introspection for the benchmark) and :func:`verify_legacy` (the
+``verify()`` convenience wired to this engine).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.events import FetchBundle
+from repro.isa.instruction import HALT, Instruction, Opcode
+from repro.mc.env import Environment
+from repro.mc.intern import deep_sizeof
+from repro.mc.result import (
+    ATTACK,
+    PROVED,
+    TIMEOUT,
+    Counterexample,
+    Outcome,
+    SearchStats,
+)
+
+#: How many expansions between wall-clock checks.
+_CLOCK_STRIDE = 128
+
+
+class _Budget:
+    """Tracks elapsed time / state count against the limits (verbatim)."""
+
+    def __init__(self, limits):
+        self.limits = limits
+        self.start = time.monotonic()
+        self._tick = 0
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def exhausted(self, states: int) -> bool:
+        limits = self.limits
+        if limits.max_states is not None and states >= limits.max_states:
+            return True
+        if limits.deadline is not None and time.monotonic() >= limits.deadline:
+            return True
+        if limits.timeout_s is None:
+            return False
+        self._tick += 1
+        if self._tick % _CLOCK_STRIDE:
+            return False
+        return time.monotonic() - self.start > limits.timeout_s
+
+
+class LegacyExplorer:
+    """Depth-first explicit-state search, pre-overhaul hot path."""
+
+    def __init__(self, product, space, roots, limits):
+        self.product = product
+        self.space = space
+        self.roots = roots
+        self.limits = limits
+        self.universe = space.instructions()
+        self._last_visited: set | None = None
+
+    def run(self) -> Outcome:
+        """Search every root; return proof, first attack, or timeout."""
+        stack: list[tuple[int, Environment, tuple, int]] = []
+        imem_size = self.product.params.imem_size
+        for root_index, root in enumerate(self.roots):
+            self.product.reset(root.dmem_pair)
+            stack.append(
+                (root_index, Environment.empty(imem_size), self.product.snapshot(), 0)
+            )
+        return self._search(stack)
+
+    def visited_footprint(self) -> tuple[int, int]:
+        """(key count, approximate deep bytes) of the last run's visited set."""
+        visited = self._last_visited or set()
+        return len(visited), deep_sizeof(visited)
+
+    def _search(self, stack: list[tuple[int, Environment, tuple, int]]) -> Outcome:
+        """The DFS loop over an already-seeded stack (verbatim)."""
+        budget = _Budget(self.limits)
+        visited: set = set()
+        self._last_visited = visited
+        states = transitions = pruned = max_depth = 0
+        prune_reasons: dict[str, int] = {}
+        active_root: int | None = None
+        while stack:
+            root_index, env, snap, depth = stack.pop()
+            key = (root_index, env, snap)
+            if key in visited:
+                continue
+            visited.add(key)
+            if root_index != active_root:
+                self.product.reset(self.roots[root_index].dmem_pair)
+                active_root = root_index
+            states += 1
+            max_depth = max(max_depth, depth)
+            if budget.exhausted(states):
+                stats = SearchStats(
+                    states, transitions, pruned, max_depth, prune_reasons
+                )
+                return Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
+            for child_env, bundles in self._choices(env, snap):
+                self.product.restore(snap)
+                result = self.product.step_cycle(bundles)
+                transitions += 1
+                if result.pruned:
+                    pruned += 1
+                    reason = result.reason or "assume"
+                    prune_reasons[reason] = prune_reasons.get(reason, 0) + 1
+                    continue
+                if result.failed:
+                    stats = SearchStats(
+                        states, transitions, pruned, max_depth, prune_reasons
+                    )
+                    cex = Counterexample(
+                        root_label=self.roots[root_index].label,
+                        dmem_pair=self.roots[root_index].dmem_pair,
+                        env=child_env,
+                        depth=depth + 1,
+                        reason=result.reason or "leakage",
+                    )
+                    return Outcome(
+                        kind=ATTACK,
+                        elapsed=budget.elapsed(),
+                        stats=stats,
+                        counterexample=cex,
+                    )
+                if self.product.quiescent():
+                    continue  # terminal OK state
+                stack.append(
+                    (root_index, child_env, self.product.snapshot(), depth + 1)
+                )
+        stats = SearchStats(states, transitions, pruned, max_depth, prune_reasons)
+        return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
+
+    def _choices(self, env: Environment, snap: tuple):
+        """Yield (extended environment, fetch bundles) for one cycle."""
+        self.product.restore(snap)
+        requests = self.product.fetch_requests()
+        n_slots = len(self.product.machines)
+        imem_size = min(self.product.params.imem_size, len(env.imem))
+        open_pcs = sorted(
+            {
+                req.pc
+                for req in requests
+                if 0 <= req.pc < imem_size and env.imem[req.pc] is None
+            }
+        )
+        for insts in itertools.product(self.universe, repeat=len(open_pcs)):
+            env_i = env.with_slots(dict(zip(open_pcs, insts))) if open_pcs else env
+            open_keys: list[tuple[int, int]] = []
+            for req in requests:
+                inst = self._fetched(env_i, req.pc, imem_size)
+                if inst.op != Opcode.BRANCH or req.predictor != "nondet":
+                    continue
+                key = (req.pc, req.occurrence)
+                if env_i.prediction(key) is None and key not in open_keys:
+                    open_keys.append(key)
+            for bits in itertools.product((False, True), repeat=len(open_keys)):
+                env_ip = (
+                    env_i.with_predictions(dict(zip(open_keys, bits)))
+                    if open_keys
+                    else env_i
+                )
+                bundles: list[FetchBundle | None] = [None] * n_slots
+                for req in requests:
+                    inst = self._fetched(env_ip, req.pc, imem_size)
+                    bundles[req.slot] = FetchBundle(
+                        pc=req.pc,
+                        inst=inst,
+                        predicted_taken=self._prediction(req, inst, env_ip),
+                    )
+                yield env_ip, bundles
+
+    @staticmethod
+    def _fetched(env: Environment, pc: int, imem_size: int) -> Instruction:
+        if not 0 <= pc < imem_size:
+            return HALT
+        inst = env.slot(pc)
+        return inst if inst is not None else HALT
+
+    @staticmethod
+    def _prediction(req, inst: Instruction, env: Environment) -> bool | None:
+        if inst.op != Opcode.BRANCH or req.predictor == "none":
+            return None
+        if req.predictor == "taken":
+            return True
+        if req.predictor == "not_taken":
+            return False
+        taken = env.prediction((req.pc, req.occurrence))
+        assert taken is not None
+        return taken
+
+
+def verify_legacy(task) -> Outcome:
+    """Run one verification task through the frozen pre-overhaul engine."""
+    product = task.build_product()
+    roots = task.build_roots()
+    explorer = LegacyExplorer(product, task.space, roots, task.limits)
+    return explorer.run()

@@ -1,0 +1,141 @@
+"""Cross-process visited-state sharing: a shared-memory fingerprint filter.
+
+One verification task's sub-root shards run in separate worker processes
+(:mod:`repro.campaign.scheduler`), so their exact visited sets cannot be
+shared.  What *can* be shared cheaply is a read-mostly filter of 64-bit
+state fingerprints (:func:`repro.mc.intern.stable_fingerprint`) in a
+``multiprocessing.shared_memory`` segment: a fixed-capacity open-addressing
+table of machine words, zero meaning "empty".  Shards insert the canonical
+fingerprint of every state they expand and consult the filter before
+expanding a new one; a hit means some shard of the same unit already owns
+that state's subtree.
+
+Soundness (verdict kinds, not exact statistics): a shard that skips a
+filtered state relies on the inserting shard's outcome.  If the owner
+fully explored the subtree without an attack, the skip loses nothing; if
+the owner found an attack, its own outcome is ATTACK and decides the unit;
+if the owner timed out mid-subtree, its TIMEOUT outcome (a non-proof)
+decides the unit before any skipping shard's PROVED can.  In every case
+the *merged* unit verdict kind matches what exhaustive exploration would
+conclude -- which is why ``shared_visited`` preserves verdicts while being
+allowed to report fewer explored states.  What is deliberately given up:
+bit-identical SearchStats (skips depend on worker timing) and the 2^-64
+fingerprint-collision residual -- both reasons the mode is opt-in.
+
+Concurrency: writes are benign-racy by design.  Two shards inserting
+concurrently may duplicate a fingerprint (harmless) or, in the worst
+interleaving on exotic hardware, tear a slot into a value that aliases a
+third state -- an event of the same order as a fingerprint collision and
+accepted on the same grounds.  A full table degrades to a lossy filter
+(inserts drop, queries miss): shards then merely re-explore, never
+mis-prove.
+"""
+
+from __future__ import annotations
+
+#: Slot width: one 64-bit fingerprint per slot.
+_WORD = 8
+
+#: Linear-probe bound; beyond it inserts drop and lookups report a miss.
+_MAX_PROBES = 32
+
+#: Default capacity in slots (2 MiB of shared memory).
+DEFAULT_CAPACITY = 1 << 18
+
+
+class SharedVisitedFilter:
+    """Fixed-capacity shared-memory set of 64-bit state fingerprints.
+
+    Layout: one header word holding the capacity, then ``capacity``
+    fingerprint slots.  The header -- not the segment size -- is the
+    source of truth for the probe modulus: some platforms round shared
+    segments up to page multiples, and creator and workers must agree on
+    the modulus or cross-process lookups silently probe the wrong slots.
+    """
+
+    __slots__ = ("_shm", "_view", "capacity", "_owner")
+
+    def __init__(self, shm, capacity: int, owner: bool):
+        self._shm = shm
+        self._view = shm.buf
+        self.capacity = capacity
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int = DEFAULT_CAPACITY) -> "SharedVisitedFilter":
+        """Allocate a zeroed filter; the creator owns (and unlinks) it."""
+        from multiprocessing import shared_memory
+
+        size = (capacity + 1) * _WORD  # header word + slots
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        shm.buf[:size] = bytes(size)
+        shm.buf[0:_WORD] = capacity.to_bytes(_WORD, "little")
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedVisitedFilter":
+        """Attach to an existing filter by segment name (worker side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        capacity = int.from_bytes(bytes(shm.buf[0:_WORD]), "little")
+        return cls(shm, capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by (picklable across processes)."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Detach this handle (the segment survives until unlinked)."""
+        self._view = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the segment (owner side, after every worker detached)."""
+        if self._owner:
+            self._shm.unlink()
+
+    # ------------------------------------------------------------------
+    # The filter
+    # ------------------------------------------------------------------
+    def add(self, fingerprint: int) -> None:
+        """Insert a fingerprint (lossy when the probe window is full)."""
+        fingerprint &= (1 << 64) - 1
+        if fingerprint == 0:
+            fingerprint = 1  # 0 is the empty-slot sentinel
+        word = fingerprint.to_bytes(_WORD, "little")
+        view = self._view
+        capacity = self.capacity
+        index = fingerprint % capacity
+        for _ in range(_MAX_PROBES):
+            offset = (1 + index) * _WORD  # slot 0 is the header
+            slot = bytes(view[offset : offset + _WORD])
+            if slot == word:
+                return
+            if slot == b"\x00" * _WORD:
+                view[offset : offset + _WORD] = word
+                return
+            index = (index + 1) % capacity
+        # Probe window exhausted: drop (filter stays correct, just lossy).
+
+    def __contains__(self, fingerprint: int) -> bool:
+        fingerprint &= (1 << 64) - 1
+        if fingerprint == 0:
+            fingerprint = 1
+        word = fingerprint.to_bytes(_WORD, "little")
+        view = self._view
+        capacity = self.capacity
+        index = fingerprint % capacity
+        for _ in range(_MAX_PROBES):
+            offset = (1 + index) * _WORD  # slot 0 is the header
+            slot = bytes(view[offset : offset + _WORD])
+            if slot == word:
+                return True
+            if slot == b"\x00" * _WORD:
+                return False
+            index = (index + 1) % capacity
+        return False

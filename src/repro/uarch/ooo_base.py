@@ -101,26 +101,36 @@ ENTRY_FIELDS = (
 )
 
 
+# Frozen opcode classes: set membership beats scanning enum tuples in the
+# pipeline loops, which run once per ROB entry per cycle of the search.
+_DEST_OPS = frozenset(
+    (Opcode.LOADIMM, Opcode.ALU, Opcode.LOAD, Opcode.LH, Opcode.MUL)
+)
+_TWO_SRC_OPS = frozenset((Opcode.ALU, Opcode.MUL))
+_MEM_OPS = frozenset((Opcode.LOAD, Opcode.LH))
+
+
 def dest_reg(inst: Instruction) -> int | None:
     """Destination register of an instruction, if any."""
-    if inst.op in (Opcode.LOADIMM, Opcode.ALU, Opcode.LOAD, Opcode.LH, Opcode.MUL):
+    if inst.op in _DEST_OPS:
         return inst.a
     return None
 
 
 def src_regs(inst: Instruction) -> tuple[int, ...]:
     """Source registers an instruction reads."""
-    if inst.op in (Opcode.ALU, Opcode.MUL):
+    op = inst.op
+    if op in _TWO_SRC_OPS:
         return (inst.b, inst.c)
-    if inst.op in (Opcode.LOAD, Opcode.LH):
+    if op in _MEM_OPS:
         return (inst.b,)
-    if inst.op == Opcode.BRANCH:
+    if op == Opcode.BRANCH:
         return (inst.a,)
     return ()
 
 
 def _is_memory(inst: Instruction) -> bool:
-    return inst.op in (Opcode.LOAD, Opcode.LH)
+    return inst.op in _MEM_OPS
 
 
 class OoOCore:
@@ -227,9 +237,11 @@ class OoOCore:
     # ------------------------------------------------------------------
     # Pipeline stages
     # ------------------------------------------------------------------
-    def _commit_stage(self) -> list[CommitRecord]:
-        commits: list[CommitRecord] = []
+    def _commit_stage(self):
         rob = self._rob
+        if not rob or rob[0][E_STATUS] != DONE:
+            return ()  # nothing retirable: the common search-state cycle
+        commits: list[CommitRecord] = []
         while len(commits) < self.config.commit_width and rob:
             entry = rob[0]
             if entry[E_STATUS] != DONE:
@@ -264,12 +276,17 @@ class OoOCore:
     def _execute_stage(self, membus: list[int], events: list[str]) -> None:
         if self._mem_cancel > 0:
             self._mem_cancel -= 1
-        for entry in self._rob:
+        # Two passes on purpose: every executing entry ticks down *before*
+        # any completion runs, because a completion that squashes (resolved
+        # mispredict) charges the memory unit with the squashed entry's
+        # already-decremented remaining latency (``_squash_from``).
+        rob = self._rob
+        for entry in rob:
             if entry[E_STATUS] == EXECUTING:
                 entry[E_CYCLES] -= 1
         index = 0
-        while index < len(self._rob):
-            entry = self._rob[index]
+        while index < len(rob):
+            entry = rob[index]
             if entry[E_STATUS] == EXECUTING and entry[E_CYCLES] <= 0:
                 self._complete(index, events)
             index += 1
@@ -327,20 +344,25 @@ class OoOCore:
         head[E_DRAM] = True
 
     def _issue_stage(self, membus: list[int], events: list[str]) -> None:
+        mem_ops = _MEM_OPS
         for index, entry in enumerate(self._rob):
             if entry[E_STATUS] != WAITING:
                 continue
-            if _is_memory(entry[E_INST]):
-                if self._mem_busy() or not self._may_issue_memory(index, entry):
+            if entry[E_INST].op in mem_ops:
+                # The single memory unit is busy while an access owns it
+                # (_mem_seq) or a squash-recovery penalty drains
+                # (_mem_cancel); defenses gate issue on top of that.
+                if (
+                    self._mem_seq is not None
+                    or self._mem_cancel > 0
+                    or not self._may_issue_memory(index, entry)
+                ):
                     continue
             view = self._operand_view(index, entry)
             if view is None:
                 continue
             self._start_execution(index, entry, view, membus, events)
             return  # issue width 1
-
-    def _mem_busy(self) -> bool:
-        return self._mem_seq is not None or self._mem_cancel > 0
 
     def _may_issue_memory(self, index: int, entry: list) -> bool:
         defense = self.config.defense
@@ -359,8 +381,10 @@ class OoOCore:
         sources = src_regs(entry[E_INST])
         if not sources:
             return tuple(self._regs)
+        if len(sources) == 2 and sources[0] == sources[1]:
+            sources = sources[:1]
         view = list(self._regs)
-        for reg in set(sources):
+        for reg in sources:
             value = self._resolve_operand(index, reg)
             if value is None:
                 return None
@@ -472,7 +496,12 @@ class OoOCore:
             # squashed path and never enters the ROB.
             return
         inst = fetch.inst
-        branch_ahead = any(e[E_INST].op == Opcode.BRANCH for e in self._rob)
+        branch_ahead = False
+        branch_op = Opcode.BRANCH
+        for entry in self._rob:
+            if entry[E_INST].op is branch_op:
+                branch_ahead = True
+                break
         entry = [None] * _ENTRY_WIDTH
         entry[E_SEQ] = self._next_seq
         entry[E_PC] = fetch.pc
@@ -518,11 +547,21 @@ class OoOCore:
         programs.
         """
         base = self.seq_base()
-        rob = tuple(
-            (entry[E_SEQ] - base, *entry[1:]) for entry in self._rob
-        )
+        if base:
+            rob = tuple(
+                (entry[E_SEQ] - base, *entry[1:]) for entry in self._rob
+            )
+        else:
+            # Freshly restored states are already rebased (head seq 0), so
+            # the common case freezes entries without re-deriving fields.
+            rob = tuple(map(tuple, self._rob))
         mem_seq = None if self._mem_seq is None else self._mem_seq - base
         cache = self._cache.snapshot() if self._cache is not None else None
+        branch_occ = self._branch_occ
+        if len(branch_occ) > 1:
+            occ = tuple(sorted(branch_occ.items()))
+        else:
+            occ = tuple(branch_occ.items())
         return (
             tuple(self._regs),
             self._fetch_pc,
@@ -533,7 +572,7 @@ class OoOCore:
             self._mem_cancel,
             cache,
             rob,
-            tuple(sorted(self._branch_occ.items())),
+            occ,
         )
 
     def restore(self, snap: tuple) -> None:
@@ -551,7 +590,7 @@ class OoOCore:
             occ,
         ) = snap
         self._regs = list(regs)
-        self._rob = [list(entry) for entry in rob]
+        self._rob = list(map(list, rob))
         self._branch_occ = dict(occ)
         if self._cache is not None:
             self._cache.restore(cache)

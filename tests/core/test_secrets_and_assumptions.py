@@ -33,6 +33,21 @@ def test_single_mode_varies_one_cell():
         assert len(differing) == 1
 
 
+def test_ordered_mode_emits_both_orientations():
+    params = MachineParams(value_bits=1, mem_size=4, n_public=2)
+    unordered = secret_memory_pairs(params, "all")
+    ordered = secret_memory_pairs(params, "ordered")
+    # P(4, 2) ordered image pairs = 2 x C(4, 2).
+    assert len(ordered) == 2 * len(unordered)
+    pairs = {root.dmem_pair for root in ordered}
+    assert all((b, a) in pairs for a, b in pairs)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        secret_memory_pairs(MachineParams(), "everything")
+
+
 def test_auto_mode_backs_off_to_single_for_large_domains():
     params = MachineParams(value_bits=2, mem_size=4, n_public=2)
     assert len(secret_memory_pairs(params, "auto")) == len(

@@ -1,0 +1,195 @@
+"""Cross-root visited sharing: mirror canonicalization and the filter.
+
+``shared_visited`` must preserve verdict kinds on every workload while
+strictly reducing explored states on orientation-symmetric multi-root
+units (the ordered Eq. (1) quantifier) -- and the cross-process
+:class:`repro.mc.shared_filter.SharedVisitedFilter` must extend the same
+sharing across the campaign scheduler's worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import verify_sharded
+from repro.core.contracts import sandboxing
+from repro.core.products import ShadowProduct
+from repro.core.secrets import secret_memory_pairs, with_mirrored_roots
+from repro.core.verifier import VerificationTask, verify
+from repro.isa.encoding import EncodingSpace
+from repro.isa.params import MachineParams
+from repro.mc.shared_filter import SharedVisitedFilter
+from repro.uarch.config import Defense
+from repro.uarch.simple_ooo import simple_ooo
+
+PARAMS = MachineParams(imem_size=3)
+
+TINY = EncodingSpace(
+    load_rd=(1, 2),
+    load_rs=(0, 1),
+    load_imm=(0, 3),
+    branch_rs=(0,),
+    branch_off=(2,),
+)
+
+
+def _task(defense, roots, **overrides):
+    base = dict(
+        core_factory=core_spec("simple_ooo", defense=defense, params=PARAMS),
+        contract=sandboxing(),
+        space=TINY,
+        roots=roots,
+    )
+    base.update(overrides)
+    from repro.mc.explorer import SearchLimits
+
+    base.setdefault("limits", SearchLimits(timeout_s=90))
+    return VerificationTask(**base)
+
+
+def _ordered_roots():
+    return with_mirrored_roots(secret_memory_pairs(PARAMS, "single"))
+
+
+def test_mirror_snapshot_is_an_involution_and_tracks_swapped_roots():
+    """mirror(snapshot of (A,B) run) equals snapshot of the same-input
+    (B,A) run, and mirroring twice is the identity."""
+    from repro.events import FetchBundle
+    from repro.isa.instruction import HALT, load
+
+    program = (load(1, 0, 3), load(2, 1, 0), HALT)
+    pair = ((0, 0, 0, 1), (0, 0, 1, 0))
+
+    def run(dmem_pair, cycles=6):
+        product = ShadowProduct(
+            lambda: simple_ooo(Defense.NONE, params=PARAMS), sandboxing()
+        )
+        product.reset(dmem_pair)
+        for _ in range(cycles):
+            bundles = [None, None]
+            for req in product.fetch_requests():
+                inst = program[req.pc] if req.pc < len(program) else HALT
+                bundles[req.slot] = FetchBundle(req.pc, inst, None)
+            product.step_cycle(bundles)
+        return product, product.snapshot()
+
+    product, snap_fwd = run(pair)
+    _, snap_rev = run((pair[1], pair[0]))
+    assert product.mirror_snapshot(snap_fwd) == snap_rev
+    assert product.mirror_snapshot(product.mirror_snapshot(snap_fwd)) == snap_fwd
+
+
+def test_shared_visited_preserves_proof_and_halves_mirrored_roots():
+    roots = _ordered_roots()
+    default = verify(_task(Defense.DELAY_FUTURISTIC, roots))
+    shared = verify(_task(Defense.DELAY_FUTURISTIC, roots, shared_visited=True))
+    assert default.kind == shared.kind == "proved"
+    # Every mirror root's subtree collapses onto its partner's: exactly
+    # half the states (the mirror roots' initial states are themselves
+    # mirror images, so they dedupe from the very first pop).
+    assert shared.stats.states * 2 == default.stats.states
+
+
+def test_shared_visited_preserves_attack_verdicts():
+    roots = _ordered_roots()
+    default = verify(_task(Defense.NONE, roots))
+    shared = verify(_task(Defense.NONE, roots, shared_visited=True))
+    assert default.kind == shared.kind == "attack"
+    assert shared.counterexample is not None
+
+
+def test_shared_visited_is_identical_on_asymmetric_single_roots():
+    """With no mirror pair among the roots there is nothing to share:
+    verdict and state count match the default engine exactly."""
+    roots = secret_memory_pairs(PARAMS, "single")
+    default = verify(_task(Defense.DELAY_FUTURISTIC, roots))
+    shared = verify(_task(Defense.DELAY_FUTURISTIC, roots, shared_visited=True))
+    assert shared.kind == default.kind
+    assert shared.stats.states == default.stats.states
+
+
+def test_shared_visited_across_worker_processes():
+    """The scheduler wires one SharedVisitedFilter across a unit's shards:
+    verdict preserved, total states no worse than the unshared serial
+    search (mirror subtrees dedupe across processes)."""
+    roots = _ordered_roots()
+    serial_default = verify(_task(Defense.DELAY_FUTURISTIC, roots))
+    shared = verify_sharded(
+        _task(Defense.DELAY_FUTURISTIC, roots, shared_visited=True),
+        n_workers=2,
+        subroot="always",
+    )
+    assert shared.kind == serial_default.kind == "proved"
+    assert shared.stats.states <= serial_default.stats.states
+
+
+class TestSharedVisitedFilter:
+    def test_add_and_contains(self):
+        vfilter = SharedVisitedFilter.create(capacity=64)
+        try:
+            assert 1234 not in vfilter
+            vfilter.add(1234)
+            assert 1234 in vfilter
+            assert 1235 not in vfilter
+        finally:
+            vfilter.close()
+            vfilter.unlink()
+
+    def test_zero_fingerprint_is_remapped_not_lost(self):
+        vfilter = SharedVisitedFilter.create(capacity=64)
+        try:
+            vfilter.add(0)
+            assert 0 in vfilter
+        finally:
+            vfilter.close()
+            vfilter.unlink()
+
+    def test_attach_by_name_sees_the_same_entries(self):
+        vfilter = SharedVisitedFilter.create(capacity=64)
+        try:
+            vfilter.add(99)
+            other = SharedVisitedFilter.attach(vfilter.name)
+            try:
+                assert 99 in other
+                other.add(100)
+                assert 100 in vfilter
+            finally:
+                other.close()
+        finally:
+            vfilter.close()
+            vfilter.unlink()
+
+    def test_overflow_degrades_to_lossy_not_wrong(self):
+        vfilter = SharedVisitedFilter.create(capacity=8)
+        try:
+            for fingerprint in range(1, 200):
+                vfilter.add(fingerprint)
+            # Whatever was kept answers truthfully; nothing asserts falsely.
+            kept = sum(1 for fp in range(1, 200) if fp in vfilter)
+            assert 0 < kept <= 8
+            assert 5000 not in vfilter
+        finally:
+            vfilter.close()
+            vfilter.unlink()
+
+
+def test_ordered_secret_mode_doubles_all_mode():
+    params = MachineParams(imem_size=3)
+    unordered = secret_memory_pairs(params, "all")
+    ordered = secret_memory_pairs(params, "ordered")
+    assert len(ordered) == 2 * len(unordered)
+    ordered_pairs = {root.dmem_pair for root in ordered}
+    for root in unordered:
+        first, second = root.dmem_pair
+        assert (first, second) in ordered_pairs
+        assert (second, first) in ordered_pairs
+
+
+def test_with_mirrored_roots_swaps_orientation():
+    roots = secret_memory_pairs(PARAMS, "single")
+    doubled = with_mirrored_roots(roots)
+    assert len(doubled) == 2 * len(roots)
+    for original, mirror in zip(doubled[::2], doubled[1::2]):
+        assert mirror.dmem_pair == (original.dmem_pair[1], original.dmem_pair[0])
+        assert mirror.label.endswith("-mirror")
