@@ -145,6 +145,7 @@ def run(
     budget_s: float | None = None,
     log: CampaignLog | None = None,
     subroot: str = "auto",
+    backend=None,
 ) -> list[AblationResult]:
     """Run the ablation on attack, plain-proof and drain-heavy workloads."""
     by_key = run_units(
@@ -154,6 +155,7 @@ def run(
         log=log,
         experiment=EXPERIMENT,
         subroot=subroot,
+        backend=backend,
     )
     return _assemble(by_key, workloads)
 

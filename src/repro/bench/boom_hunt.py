@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.configs import BOOM_PARAMS, SPACE_BOOM, Scale
+from repro.campaign.log import CampaignLog, outcome_from_json
 from repro.campaign.registry import core_spec
 from repro.campaign.scheduler import verify_sharded
 from repro.core.assumptions import (
@@ -36,6 +37,8 @@ from repro.core.verifier import VerificationTask
 from repro.mc.explorer import SearchLimits
 from repro.mc.replay import replay
 from repro.mc.result import Outcome
+
+EXPERIMENT = "hunt"
 
 #: Exclusion assumption per classified speculation source.
 EXCLUSIONS = {
@@ -76,12 +79,24 @@ def run(
     max_rounds: int = 4,
     *,
     n_workers: int | None = 1,
+    backend=None,
+    log: CampaignLog | None = None,
 ) -> list[HuntStep]:
     """Run the iterative exclusion hunt for one contract.
 
     Rounds are inherently sequential (each adds the previous round's
     exclusion), but within a round the secret-pair roots shard across
-    ``n_workers`` worker processes (``1`` = the serial path).
+    ``n_workers`` worker processes (``1`` = the serial path) on any
+    campaign ``backend`` -- a connected
+    :class:`repro.campaign.backends.SocketClusterBackend` is reused
+    across rounds, so the hunt scales past one host without re-spawning
+    workers per round.
+
+    ``log`` streams one JSONL record per round -- keyed
+    ``(contract, round)`` and carrying the classified mis-speculation
+    ``source`` plus the ``exclusions`` active that round -- so
+    ``python -m repro.bench.report --from-log`` re-renders the hunt
+    narrative without re-running it (:func:`steps_from_records`).
     """
     exclusions: list[Assumption] = []
     names: list[str] = []
@@ -94,23 +109,54 @@ def run(
             assumptions=tuple(exclusions),
             limits=SearchLimits(timeout_s=scale.hunt_timeout),
         )
-        outcome = verify_sharded(task, n_workers=n_workers)
+        outcome = verify_sharded(task, n_workers=n_workers, backend=backend)
         source = None
         if outcome.attacked:
             source = classify_source(task, outcome)
-        steps.append(
-            HuntStep(
-                round_index=round_index,
-                active_exclusions=tuple(names),
-                outcome=outcome,
-                source=source,
-            )
+        step = HuntStep(
+            round_index=round_index,
+            active_exclusions=tuple(names),
+            outcome=outcome,
+            source=source,
         )
+        steps.append(step)
+        if log is not None:
+            log.result(
+                EXPERIMENT,
+                (contract.name, str(round_index)),
+                outcome,
+                extra={"source": source, "exclusions": list(names)},
+            )
         if not outcome.attacked or source not in EXCLUSIONS:
             break
         exclusions.append(EXCLUSIONS[source]())
         names.append(source)
     return steps
+
+
+def steps_from_records(records: list[dict]) -> dict[str, list[HuntStep]]:
+    """Rebuild hunt narratives from JSONL result records, per contract.
+
+    Records are matched by ``experiment == "hunt"``; the returned steps
+    are ordered by round index, so :func:`format_rows` renders the same
+    narrative the live run printed.
+    """
+    by_contract: dict[str, list[HuntStep]] = {}
+    for record in records:
+        if record.get("experiment") != EXPERIMENT:
+            continue
+        contract_name, round_index = record["key"]
+        by_contract.setdefault(contract_name, []).append(
+            HuntStep(
+                round_index=int(round_index),
+                active_exclusions=tuple(record.get("exclusions") or ()),
+                outcome=outcome_from_json(record["outcome"]),
+                source=record.get("source"),
+            )
+        )
+    for steps in by_contract.values():
+        steps.sort(key=lambda step: step.round_index)
+    return by_contract
 
 
 def format_rows(contract_name: str, steps: list[HuntStep]) -> str:

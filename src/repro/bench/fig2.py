@@ -175,6 +175,7 @@ def run(
     budget_s: float | None = None,
     log: CampaignLog | None = None,
     subroot: str = "auto",
+    backend=None,
     regfile_sizes=REGFILE_SIZES,
     dmem_sizes=DMEM_SIZES,
     rob_sizes=ROB_SIZES,
@@ -199,6 +200,7 @@ def run(
         log=log,
         experiment=EXPERIMENT,
         subroot=subroot,
+        backend=backend,
     )
     results = _empty_results()
     for (panel_key, structure, size), outcome in by_key.items():

@@ -62,14 +62,18 @@ def run_units(
     log: CampaignLog | None = None,
     experiment: str = "bench",
     subroot: str = "auto",
+    backend=None,
 ) -> dict[tuple[str, ...], Outcome]:
     """Run a driver's unit grid; returns ``outcome`` by unit ``key``.
 
     Defaults to ``n_workers=1`` (the serial reproducibility path) so that
     existing callers and committed benchmark numbers keep their meaning;
     drivers surface the knob to their callers.  ``subroot`` selects the
-    shard granularity below the root (see
-    :func:`repro.campaign.scheduler.run_campaign`).
+    shard granularity below the root and ``backend`` the executor --
+    ``"serial"`` / ``"process"`` or a live instance such as a connected
+    ``SocketClusterBackend`` (see
+    :func:`repro.campaign.scheduler.run_campaign`; results are
+    bit-identical across backends).
     """
     results: list[CampaignResult] = run_campaign(
         units,
@@ -78,6 +82,7 @@ def run_units(
         log=log,
         experiment=experiment,
         subroot=subroot,
+        backend=backend,
     )
     return {result.key: result.outcome for result in results}
 

@@ -137,6 +137,7 @@ def run(
     n_workers: int | None = 1,
     budget_s: float | None = None,
     log: CampaignLog | None = None,
+    backend=None,
 ) -> dict[str, dict[str, Outcome]]:
     """Run the comparison matrix; returns ``results[scheme][design]``.
 
@@ -158,6 +159,7 @@ def run(
         budget_s=budget_s,
         log=log,
         experiment=EXPERIMENT,
+        backend=backend,
     )
     for (scheme, design_name), outcome in by_key.items():
         results[scheme][design_name] = outcome

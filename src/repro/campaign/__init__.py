@@ -1,22 +1,33 @@
-"""Parallel verification campaigns (multiprocess sharded search).
+"""Parallel verification campaigns (sharded search over pluggable backends).
 
 Public surface:
 
 - :class:`repro.campaign.registry.CoreSpec` / :func:`core_spec` --
   picklable named core factories (drop-in for the old lambdas),
 - :class:`CampaignUnit` + :func:`run_campaign` -- fan a grid of
-  verification tasks (one bench table) across worker processes,
+  verification tasks (one bench table) across an execution backend,
 - :func:`verify_sharded` -- shard a single task across its secret-pair
   roots and, below each root, across the first cycle's independent
   subtrees (``subroot="auto"|"always"|"never"``),
+- :mod:`repro.campaign.backends` -- the executors: ``SerialBackend``
+  (inline reference), ``ProcessPoolBackend`` (single host) and
+  ``SocketClusterBackend`` + ``python -m repro.campaign.worker``
+  (multi-host over TCP, token-authenticated, death-tolerant),
 - :class:`repro.campaign.log.CampaignLog` -- JSONL result logs that
   ``python -m repro.bench.report --from-log`` re-renders without
   re-running.
 
 ``python -m repro.campaign`` runs a seconds-scale mini-campaign (used by
-CI to catch pickling / determinism regressions early).
+CI to catch pickling / determinism / backend regressions early).
 """
 
+from repro.campaign.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketClusterBackend,
+    WorkItem,
+)
 from repro.campaign.log import (
     CampaignLog,
     canonical_lines,
@@ -33,6 +44,7 @@ from repro.campaign.registry import (
     register_core_factory,
 )
 from repro.campaign.scheduler import (
+    BACKEND_NAMES,
     BUDGET_NOTE,
     SUBROOT_MODES,
     CampaignResult,
@@ -43,6 +55,7 @@ from repro.campaign.scheduler import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BUDGET_NOTE",
     "SUBROOT_MODES",
     "CORE_FACTORIES",
@@ -50,6 +63,11 @@ __all__ = [
     "CampaignResult",
     "CampaignUnit",
     "CoreSpec",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SocketClusterBackend",
+    "WorkItem",
     "canonical_lines",
     "core_factory_names",
     "core_spec",

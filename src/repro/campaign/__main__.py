@@ -10,11 +10,17 @@ grids are built in:
 - ``ablation-mini``: the fetch-gate ablation's attack and plain-proof
   workloads, gated and ungated.
 
+``--backend`` selects the executor (``serial`` / ``process`` /
+``socket``); the socket backend listens on ``--listen HOST:PORT`` for
+``python -m repro.campaign.worker`` agents (or spawns local ones with
+``--spawn N``).
+
 CI runs each grid twice, with ``--workers 1`` and ``--workers 4
---subroot always``, and diffs the canonical JSONL logs: any pickling
-break, nondeterministic merge (root- or sub-root-granular) or scheme
-regression fails the smoke job within minutes instead of surfacing in
-the ten-minute benchmark suite.
+--subroot always``, plus a socket-backend leg against two local worker
+agents, and diffs the canonical JSONL logs: any pickling break,
+nondeterministic merge (root-, sub-root- or steal-granular), backend
+divergence or scheme regression fails the smoke job within minutes
+instead of surfacing in the ten-minute benchmark suite.
 """
 
 from __future__ import annotations
@@ -24,6 +30,11 @@ import sys
 
 from repro.bench import ablation, fig2
 from repro.bench.configs import QUICK
+from repro.campaign.cli import (
+    add_backend_arguments,
+    backend_from_args,
+    close_backend,
+)
 from repro.campaign.log import CampaignLog
 from repro.campaign.registry import core_spec
 from repro.campaign.scheduler import (
@@ -112,10 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         "--budget", type=float, default=None,
         help="shared campaign wall-clock budget in seconds",
     )
+    add_backend_arguments(parser)
     args = parser.parse_args(argv)
     build_units, expected = GRIDS[args.units]
     units = build_units()
     n_workers = None if args.workers == 0 else args.workers
+    backend = backend_from_args(args)
 
     def _run(log):
         return run_campaign(
@@ -125,13 +138,17 @@ def main(argv: list[str] | None = None) -> int:
             log=log,
             experiment=args.units,
             subroot=args.subroot,
+            backend=backend,
         )
 
-    if args.log:
-        with open(args.log, "w", encoding="utf-8") as handle:
-            results = _run(CampaignLog(handle))
-    else:
-        results = _run(None)
+    try:
+        if args.log:
+            with open(args.log, "w", encoding="utf-8") as handle:
+                results = _run(CampaignLog(handle))
+        else:
+            results = _run(None)
+    finally:
+        close_backend(backend)
     failures = 0
     for result in results:
         print(f"{'/'.join(result.key):24s} {result.outcome.summary()}")

@@ -1,0 +1,47 @@
+"""Pluggable campaign execution backends.
+
+The scheduler plans shards; a backend runs them.  Three implementations
+share one contract (:class:`ExecutionBackend`):
+
+- :class:`SerialBackend` -- inline, lazy, deterministic reference,
+- :class:`ProcessPoolBackend` -- the single-host process fan-out
+  (historical behavior, including shared visited filters),
+- :class:`SocketClusterBackend` -- a TCP coordinator for
+  ``python -m repro.campaign.worker`` agents on any number of hosts,
+  with token auth, heartbeats and in-flight requeue on worker death.
+
+Merged campaign results are bit-identical across all three (the shards
+are deterministic pure functions and the merge replays serial order);
+the backend choice only moves wall-clock around.
+"""
+
+from repro.campaign.backends.base import (
+    BACKEND_NAMES,
+    BUDGET_NOTE,
+    ExecutionBackend,
+    ShardFailure,
+    WorkItem,
+    budget_outcome,
+    execute_item,
+    resolve_workers,
+)
+from repro.campaign.backends.cluster import SocketClusterBackend
+from repro.campaign.backends.process import ProcessPoolBackend
+from repro.campaign.backends.serial import SerialBackend
+from repro.campaign.backends.wire import TOKEN_ENV, parse_hostport
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BUDGET_NOTE",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardFailure",
+    "SocketClusterBackend",
+    "TOKEN_ENV",
+    "WorkItem",
+    "budget_outcome",
+    "execute_item",
+    "parse_hostport",
+    "resolve_workers",
+]

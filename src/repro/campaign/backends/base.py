@@ -1,0 +1,227 @@
+"""The execution-backend contract: where campaign shards actually run.
+
+The campaign scheduler (:mod:`repro.campaign.scheduler`) plans work as
+:class:`WorkItem` values -- one picklable, self-contained shard each: a
+single-root :class:`repro.core.verifier.VerificationTask`, optionally
+narrowed to one seeded frontier slice.  *Where* those items execute is
+the backend's business:
+
+- :class:`repro.campaign.backends.serial.SerialBackend` runs them inline
+  (the deterministic reference),
+- :class:`repro.campaign.backends.process.ProcessPoolBackend` fans them
+  over a local ``ProcessPoolExecutor`` (the historical behavior), and
+- :class:`repro.campaign.backends.cluster.SocketClusterBackend` streams
+  them over TCP to ``python -m repro.campaign.worker`` agents on any
+  number of hosts.
+
+Because a shard's outcome is a pure function of its item -- the search is
+deterministic and every input is in the pickle -- the scheduler's merged
+results are bit-identical across backends; only wall-clock differs.
+
+Backend contract
+----------------
+``submit_unit`` enqueues an item and returns a ticket.  ``as_completed``
+is an iterator of ``(ticket, outcome)`` pairs that blocks while work is
+outstanding and stops when none is; items may be submitted or cancelled
+*between* yields (the scheduler requeues stolen work mid-iteration).
+``cancel`` is best-effort: ``True`` guarantees the ticket will never be
+yielded; ``False`` means the item is past the point of no return and its
+result will still arrive (the scheduler must tolerate stale results
+either way).  ``capacity`` is the backend's current parallel width --
+the signal the scheduler's sub-root planner and work-stealing rebalance
+key off.
+
+Two lifecycle hooks complete the contract.  ``make_filter`` owns the
+cross-process :class:`repro.mc.shared_filter.SharedVisitedFilter` a
+``shared_visited`` unit wants: the process backend can create one (its
+workers share the host's ``/dev/shm``), the serial and socket backends
+return ``None`` and the unit soundly degrades to unshared search.
+``set_deadline`` hands the backend the campaign's absolute wall-clock
+deadline so it can refuse queued work after expiry (and, in the socket
+backend, translate the monotonic instant into a *remaining budget* at
+send time -- absolute monotonic clocks do not agree across hosts).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.mc.result import TIMEOUT, Outcome, SearchStats
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep workers light
+    from repro.core.verifier import VerificationTask
+    from repro.mc.explorer import FrontierEntry
+    from repro.mc.shared_filter import SharedVisitedFilter
+
+#: ``note`` attached to outcomes synthesized when the campaign budget
+#: expires before a shard could run.
+BUDGET_NOTE = "campaign budget exhausted"
+
+#: The names ``run_campaign``'s string ``backend`` argument accepts.
+BACKEND_NAMES = ("serial", "process", "socket")
+
+
+def budget_outcome() -> Outcome:
+    """The outcome stood in for work the campaign budget cut off."""
+    return Outcome(
+        kind=TIMEOUT, elapsed=0.0, stats=SearchStats(), note=BUDGET_NOTE
+    )
+
+
+class ShardFailure:
+    """A shard raised instead of returning an outcome.
+
+    Backends deliver this through ``as_completed`` rather than raising,
+    because only the *scheduler* knows whether the failing shard still
+    matters: a serially-dead shard (its slot already decided by a
+    serially-earlier non-proof, or out-raced by a steal group) is work
+    the serial engine would never have run, so its failure is ignored --
+    exactly like the old pool path, which never fetched the result of an
+    obsolete future.  A failure on a shard the merge still needs is
+    re-raised by the scheduler: the error is deterministic and would
+    fail identically anywhere, so crashing honestly beats retrying.
+    """
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"ShardFailure({self.message!r})"
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """``None`` means one worker per CPU (the campaign default)."""
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    return n_workers
+
+
+def _attach_filter(task: "VerificationTask", filter_name: str | None):
+    """Attach the unit's shared visited filter inside a worker, if any."""
+    if filter_name is None or not task.shared_visited:
+        return None
+    from repro.mc.shared_filter import SharedVisitedFilter
+
+    try:
+        return SharedVisitedFilter.attach(filter_name)
+    except OSError:
+        # The segment is gone (unit already decided and cleaned up, or the
+        # platform lost it): degrade to unshared search, which is always
+        # sound -- the filter only ever saves work.
+        return None
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable shard: everything a worker needs, in one pickle.
+
+    ``entry is None`` means a whole-root shard (verify the single-root
+    ``task`` outright); otherwise the item is a seeded sub-root slice
+    (:meth:`repro.mc.explorer.Explorer.run_seeded` on that entry).
+    ``filter_name`` optionally names a same-host
+    :class:`repro.mc.shared_filter.SharedVisitedFilter` segment; workers
+    that cannot reach it (another host, a vanished segment) degrade to
+    unshared search.
+    """
+
+    task: "VerificationTask"
+    entry: "FrontierEntry | None" = None
+    filter_name: str | None = None
+
+    def run(self) -> Outcome:
+        """Execute the shard; every backend funnels through here.
+
+        An item that starts after the campaign deadline has already
+        passed reports the budget timeout without searching at all
+        (mirroring the serial path's pre-unit deadline check).
+        """
+        task = self.task
+        deadline = task.limits.deadline
+        if deadline is not None and time.monotonic() >= deadline:
+            return budget_outcome()
+        visited_filter = _attach_filter(task, self.filter_name)
+        try:
+            if self.entry is None:
+                from repro.core.verifier import verify
+
+                return verify(task, visited_filter=visited_filter)
+            from repro.mc.explorer import Explorer
+
+            explorer = Explorer(
+                task.build_product(),
+                task.space,
+                task.build_roots(),
+                task.limits,
+                shared_visited=task.shared_visited,
+                visited_filter=visited_filter,
+            )
+            return explorer.run_seeded([self.entry])
+        finally:
+            if visited_filter is not None:
+                visited_filter.close()
+
+
+def execute_item(item: WorkItem) -> Outcome:
+    """Module-level trampoline so pools can pickle the call by reference."""
+    return item.run()
+
+
+class ExecutionBackend:
+    """Abstract executor of :class:`WorkItem` shards (see module docs)."""
+
+    #: Human-readable backend kind (``"serial"`` / ``"process"`` /
+    #: ``"socket"``); logged into campaign headers.
+    name: str = "abstract"
+
+    # -- the four core operations --------------------------------------
+    def capacity(self) -> int:
+        """Current parallel width (worker slots able to run items now)."""
+        raise NotImplementedError
+
+    def outstanding(self) -> int:
+        """Items queued or occupying a worker slot right now.
+
+        Counts cancelled-but-unpreemptable items still running (they
+        hold a slot), which scheduler-side bookkeeping cannot see --
+        this is the honest denominator for the work-stealing idle check.
+        """
+        raise NotImplementedError
+
+    def submit_unit(self, item: WorkItem) -> int:
+        """Enqueue one shard; returns its ticket."""
+        raise NotImplementedError
+
+    def as_completed(self) -> Iterator[tuple[int, Outcome]]:
+        """Yield ``(ticket, outcome)`` as shards finish; see module docs."""
+        raise NotImplementedError
+
+    def cancel(self, ticket: int) -> bool:
+        """Best-effort cancel; ``True`` iff the ticket will never yield."""
+        raise NotImplementedError
+
+    # -- lifecycle hooks ------------------------------------------------
+    def set_deadline(self, deadline: float | None) -> None:
+        """Install the campaign's absolute ``time.monotonic()`` deadline."""
+        self._deadline = deadline
+
+    def make_filter(self, capacity: int) -> "SharedVisitedFilter | None":
+        """Create a unit's cross-process visited filter, if this backend
+        can share memory with its workers; ``None`` degrades the unit to
+        unshared search (always sound)."""
+        return None
+
+    def close(self) -> None:
+        """Release workers and transports; idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,425 @@
+"""The multi-host backend: a TCP coordinator for remote worker agents.
+
+``SocketClusterBackend`` listens on a host:port; any number of
+``python -m repro.campaign.worker`` agents connect (from this machine or
+any other), authenticate with the shared token, and pull pickled
+:class:`repro.campaign.backends.base.WorkItem` shards.  The coordinator
+
+- tracks per-worker capacity (``slots``) and keeps every authenticated
+  worker saturated from one FIFO queue,
+- converts the campaign's absolute monotonic deadline into a remaining
+  budget per task frame (clocks do not agree across hosts),
+- treats a closed socket, a send failure or a silent heartbeat window as
+  worker death and **requeues** that worker's in-flight shards at the
+  front of the queue (shards are deterministic pure functions, so a
+  re-run is indistinguishable from the first run), and
+- discards results for cancelled tickets coordinator-side (workers are
+  never preempted mid-search; the stamped deadline remains the only
+  in-search cancellation, exactly like the process backend).
+
+Workers are launched out-of-band -- the point of the backend is that the
+launch mechanism is trivial::
+
+    REPRO_WORKER_TOKEN=... python -m repro.campaign.worker \
+        --connect COORD_HOST:7781
+
+over SSH, in a container, or under kubernetes; :meth:`spawn_local_workers`
+starts them as local subprocesses for tests and single-host smoke runs.
+
+No shared visited filter: ``make_filter`` inherits the ``None`` default
+-- shared-memory segments do not cross hosts, so ``shared_visited``
+units degrade to per-shard search (sound; the in-process mirror folding
+still applies inside each shard).
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import secrets as _secrets
+import select
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from typing import Iterator
+
+from repro.campaign.backends.base import (
+    ExecutionBackend,
+    ShardFailure,
+    WorkItem,
+    budget_outcome,
+)
+from repro.campaign.backends.wire import (
+    TOKEN_ENV,
+    WireError,
+    extract_frames,
+    pack_task,
+    send_frame,
+)
+from repro.mc.result import Outcome
+
+#: A worker silent for this many seconds is presumed dead (its agent
+#: heartbeats every ~5 s even while the search computes in a child
+#: process, so this is six missed beats).
+HEARTBEAT_TIMEOUT = 30.0
+
+#: A connection that has not authenticated within this window is dropped.
+AUTH_TIMEOUT = 10.0
+
+
+class _WorkerConn:
+    """One connected (maybe not yet authenticated) worker agent."""
+
+    def __init__(self, sock: socket.socket, addr):
+        sock.setblocking(False)
+        self.sock = sock
+        self.addr = addr
+        self.authed = False
+        self.slots = 1
+        self.label = f"{addr[0]}:{addr[1]}"
+        self.inflight: set[int] = set()
+        self.buffer = bytearray()
+        self.last_seen = time.monotonic()
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def free_slots(self) -> int:
+        return self.slots - len(self.inflight) if self.authed else 0
+
+    def pump(self):
+        """Drain readable bytes; complete frames out, ``None`` if dead."""
+        received = False
+        try:
+            while True:
+                chunk = self.sock.recv(1 << 16)
+                if not chunk:
+                    return None  # orderly EOF
+                self.buffer += chunk
+                received = True
+        except BlockingIOError:
+            pass
+        except OSError:
+            return None
+        if received:
+            # Any bytes count as liveness, not just complete frames: a
+            # worker mid-transfer of one large result frame (heartbeats
+            # cannot interleave on the stream) must not be reaped as
+            # silent and have its shard requeued in a livelock.
+            self.last_seen = time.monotonic()
+        try:
+            # Until the token handshake succeeds, only JSON control
+            # frames decode -- an untrusted peer's bytes must never
+            # reach pickle.loads (that would be pre-auth code execution).
+            return extract_frames(self.buffer, allow_pickle=self.authed)
+        except WireError:
+            return None  # garbage on the wire: treat the peer as gone
+
+
+class SocketClusterBackend(ExecutionBackend):
+    """Coordinate campaign shards across socket-connected worker agents."""
+
+    name = "socket"
+
+    def __init__(
+        self,
+        listen: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        token: str | None = None,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+        auth_timeout: float = AUTH_TIMEOUT,
+    ):
+        self._listener = socket.create_server(listen, reuse_port=False)
+        self._listener.setblocking(False)
+        #: The shared secret workers must present; generated when the
+        #: operator did not provide one (read it off this attribute to
+        #: hand to remote agents, or set ``REPRO_WORKER_TOKEN`` both ends).
+        self.token = token if token else _secrets.token_hex(16)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.auth_timeout = auth_timeout
+        self._workers: list[_WorkerConn] = []
+        self._items: dict[int, WorkItem] = {}
+        self._queue: deque[int] = deque()
+        self._assigned: dict[int, _WorkerConn] = {}
+        self._discarded: set[int] = set()
+        self._results: deque[tuple[int, Outcome]] = deque()
+        self._next_ticket = 0
+        self._deadline: float | None = None
+        self._pending_error: Exception | None = None
+        #: Local agent subprocesses started by :meth:`spawn_local_workers`
+        #: (tests kill one of these to exercise the requeue path).
+        self.spawned: list[subprocess.Popen] = []
+        #: Observability counters: shards requeued after a worker died,
+        #: and workers declared dead.
+        self.requeued = 0
+        self.worker_failures = 0
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the coordinator accepts workers on."""
+        return self._listener.getsockname()[:2]
+
+    def spawn_local_workers(
+        self, n: int, *, slots: int = 1
+    ) -> list[subprocess.Popen]:
+        """Start ``n`` local agent subprocesses pointed at this coordinator."""
+        host, port = self.address
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        env = dict(os.environ)
+        env[TOKEN_ENV] = self.token
+        procs = []
+        for _ in range(n):
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.campaign.worker",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--slots",
+                        str(slots),
+                        "--retry",
+                        "30",
+                    ],
+                    env=env,
+                    # Fully detached from our stdio: an agent (or a pool
+                    # child it forked) that outlives us must not hold a
+                    # CI/pytest pipeline open through inherited pipes.
+                    stdin=subprocess.DEVNULL,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+        self.spawned.extend(procs)
+        return procs
+
+    def wait_for_workers(self, n: int, timeout: float = 60.0) -> None:
+        """Block until ``n`` worker slots are connected and authenticated."""
+        deadline = time.monotonic() + timeout
+        while self.capacity() < n:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"only {self.capacity()}/{n} worker slots connected "
+                    f"within {timeout:.0f}s (listening on "
+                    f"{self.address[0]}:{self.address[1]})"
+                )
+            self._poll(0.2)
+
+    def capacity(self) -> int:
+        return sum(w.slots for w in self._workers if w.authed)
+
+    def outstanding(self) -> int:
+        # Discarded-but-assigned shards still occupy a worker slot (no
+        # preemption), so they count against idle capacity.
+        return len(self._queue) + len(self._assigned)
+
+    # ------------------------------------------------------------------
+    # The backend contract
+    # ------------------------------------------------------------------
+    def submit_unit(self, item: WorkItem) -> int:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._items[ticket] = item
+        self._queue.append(ticket)
+        return ticket
+
+    def cancel(self, ticket: int) -> bool:
+        if ticket in self._assigned:
+            # The worker is never preempted; its result is dropped on
+            # arrival, so the ticket is guaranteed not to be yielded.
+            self._discarded.add(ticket)
+            return True
+        if ticket in self._items:
+            self._queue.remove(ticket)
+            del self._items[ticket]
+            return True
+        for pos, (done_ticket, _) in enumerate(self._results):
+            if done_ticket == ticket:
+                del self._results[pos]
+                return True
+        return True  # already yielded or never existed: nothing to undo
+
+    def _live_outstanding(self) -> int:
+        live_assigned = len(self._assigned) - len(
+            self._discarded & self._assigned.keys()
+        )
+        return len(self._queue) + live_assigned
+
+    def as_completed(self) -> Iterator[tuple[int, Outcome]]:
+        while self._results or self._live_outstanding():
+            if self._pending_error is not None:
+                error, self._pending_error = self._pending_error, None
+                raise error
+            if self._results:
+                yield self._results.popleft()
+                continue
+            self._poll(0.2)
+
+    def close(self) -> None:
+        for conn in self._workers:
+            try:
+                send_frame(conn.sock, "shutdown", {})
+            except WireError:
+                pass
+            conn.sock.close()
+        self._workers.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for proc in self.spawned:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.spawned:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def _poll(self, timeout: float) -> None:
+        """One coordinator cycle: accept, read, reap, dispatch."""
+        self._expire_queued()
+        readable_from = [self._listener] + self._workers
+        try:
+            readable, _, _ = select.select(readable_from, [], [], timeout)
+        except (OSError, ValueError):
+            readable = []  # a conn died under select; the reap pass finds it
+        now = time.monotonic()
+        for source in readable:
+            if source is self._listener:
+                self._accept_new()
+                continue
+            frames = source.pump()
+            if frames is None:
+                self._drop_worker(source)
+                continue
+            for kind, payload in frames:
+                self._handle_frame(source, kind, payload)
+        for conn in list(self._workers):
+            silent = now - conn.last_seen
+            limit = (
+                self.heartbeat_timeout if conn.authed else self.auth_timeout
+            )
+            if silent > limit:
+                self._drop_worker(conn)
+        self._dispatch()
+        self._check_spawned()
+
+    def _expire_queued(self) -> None:
+        """Budget-synthesize outcomes for queued work past the deadline."""
+        if self._deadline is None or time.monotonic() < self._deadline:
+            return
+        while self._queue:
+            ticket = self._queue.popleft()
+            del self._items[ticket]
+            self._results.append((ticket, budget_outcome()))
+
+    def _accept_new(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            self._workers.append(_WorkerConn(sock, addr))
+
+    def _handle_frame(self, conn: _WorkerConn, kind: str, payload) -> None:
+        if not conn.authed:
+            token = payload.get("token") if kind == "hello" else None
+            if not isinstance(token, str) or not hmac.compare_digest(
+                token, self.token
+            ):
+                self._drop_worker(conn)  # wrong/no token: no requeue needed
+                return
+            conn.authed = True
+            conn.slots = max(1, int(payload.get("slots") or 1))
+            label = payload.get("label")
+            if label:
+                conn.label = str(label)
+            try:
+                send_frame(conn.sock, "welcome", {"coordinator_pid": os.getpid()})
+            except WireError:
+                self._drop_worker(conn)
+            return
+        if kind == "result":
+            self._take_result(conn, payload["ticket"], payload["outcome"])
+        elif kind == "error":
+            # A raising shard is deterministic -- requeueing would fail
+            # identically elsewhere -- so deliver a ShardFailure and let
+            # the scheduler decide relevance (a cancelled/serially-dead
+            # shard's failure is dropped, like everywhere else).
+            self._take_result(
+                conn,
+                payload.get("ticket"),
+                ShardFailure(f"worker {conn.label}: {payload.get('message')}"),
+            )
+        # heartbeats need no handling beyond the last_seen bump in pump()
+
+    def _take_result(self, conn: _WorkerConn, ticket: int, outcome) -> None:
+        if self._assigned.get(ticket) is not conn:
+            return  # stale: the ticket was requeued to another worker
+        self._release(conn, ticket)
+        if ticket in self._discarded:
+            self._discarded.discard(ticket)
+            return
+        self._results.append((ticket, outcome))
+
+    def _release(self, conn: _WorkerConn, ticket) -> None:
+        conn.inflight.discard(ticket)
+        self._assigned.pop(ticket, None)
+        self._items.pop(ticket, None)
+
+    def _drop_worker(self, conn: _WorkerConn) -> None:
+        if conn not in self._workers:
+            return
+        self._workers.remove(conn)
+        conn.sock.close()
+        if conn.authed:
+            self.worker_failures += 1
+        for ticket in sorted(conn.inflight, reverse=True):
+            self._assigned.pop(ticket, None)
+            if ticket in self._discarded:
+                self._discarded.discard(ticket)
+                self._items.pop(ticket, None)
+                continue
+            # Requeue at the front, ascending, so the replacement worker
+            # picks the serially-oldest shard first.
+            self._queue.appendleft(ticket)
+            self.requeued += 1
+        conn.inflight.clear()
+
+    def _dispatch(self) -> None:
+        for conn in list(self._workers):
+            if conn not in self._workers:
+                continue  # dropped while dispatching to an earlier worker
+            while self._queue and conn.free_slots() > 0:
+                ticket = self._queue.popleft()
+                try:
+                    send_frame(conn.sock, *pack_task(ticket, self._items[ticket]))
+                except WireError:
+                    self._queue.appendleft(ticket)
+                    self._drop_worker(conn)
+                    break
+                conn.inflight.add(ticket)
+                self._assigned[ticket] = conn
+
+    def _check_spawned(self) -> None:
+        """Fail fast when every locally-spawned agent is already dead."""
+        if not self.spawned or self._workers or not self._live_outstanding():
+            return
+        if all(proc.poll() is not None for proc in self.spawned):
+            self._pending_error = RuntimeError(
+                "all locally-spawned campaign workers exited "
+                f"({[proc.returncode for proc in self.spawned]}) with "
+                f"{self._live_outstanding()} shards outstanding"
+            )

@@ -1,0 +1,87 @@
+"""The single-host backend: a ``ProcessPoolExecutor`` fan-out.
+
+This is the historical campaign executor extracted verbatim from the
+scheduler: shards pickle into worker processes, results stream back as
+futures complete, and ``shared_visited`` units get a same-host
+shared-memory visited filter (the one backend capability sockets cannot
+offer -- see :meth:`make_filter`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Iterator
+
+from repro.campaign.backends.base import (
+    ExecutionBackend,
+    ShardFailure,
+    WorkItem,
+    execute_item,
+    resolve_workers,
+)
+from repro.mc.result import Outcome
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan shards across local worker processes."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = resolve_workers(max_workers)
+        self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        self._futures: dict[int, Future] = {}
+        self._next_ticket = 0
+        self._deadline: float | None = None
+
+    def capacity(self) -> int:
+        return self._max_workers
+
+    def outstanding(self) -> int:
+        # Includes cancel()ed-but-already-running futures: they hold a
+        # pool slot until they finish, idle capacity must not count them.
+        return len(self._futures)
+
+    def submit_unit(self, item: WorkItem) -> int:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._futures[ticket] = self._pool.submit(execute_item, item)
+        return ticket
+
+    def cancel(self, ticket: int) -> bool:
+        future = self._futures.get(ticket)
+        if future is None:
+            return True  # already yielded or cancelled: nothing to do
+        if future.cancel():
+            del self._futures[ticket]
+            return True
+        return False  # already running; its (stale) result will arrive
+
+    def as_completed(self) -> Iterator[tuple[int, Outcome]]:
+        while self._futures:
+            by_future = {f: t for t, f in self._futures.items()}
+            done, _ = wait(by_future, return_when=FIRST_COMPLETED)
+            for future in done:
+                ticket = by_future[future]
+                # A future cancelled between ``wait`` and here never ran.
+                if self._futures.pop(ticket, None) is None or future.cancelled():
+                    continue
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    # The scheduler decides relevance (see ShardFailure):
+                    # a raising serially-dead shard must not abort runs
+                    # the serial engine would have completed.
+                    outcome = ShardFailure(repr(exc))
+                yield ticket, outcome
+
+    def make_filter(self, capacity: int):
+        from repro.mc.shared_filter import SharedVisitedFilter
+
+        try:
+            return SharedVisitedFilter.create(capacity)
+        except (OSError, ImportError):
+            return None  # degrade to unshared (sound)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)

@@ -102,6 +102,7 @@ def outcome_to_json(outcome: Outcome) -> dict[str, Any]:
             "pruned": stats.pruned,
             "max_depth": stats.max_depth,
             "prune_reasons": dict(sorted(stats.prune_reasons.items())),
+            "filter_dropped": stats.filter_dropped,
         },
         "counterexample": counterexample_to_json(outcome.counterexample),
     }
@@ -119,6 +120,8 @@ def outcome_from_json(data: dict[str, Any]) -> Outcome:
             pruned=stats["pruned"],
             max_depth=stats["max_depth"],
             prune_reasons=dict(stats["prune_reasons"]),
+            # Absent in pre-backend logs (format v1 without the field).
+            filter_dropped=stats.get("filter_dropped", 0),
         ),
         counterexample=counterexample_from_json(data.get("counterexample")),
         note=data.get("note"),
@@ -146,16 +149,30 @@ class CampaignLog:
         )
 
     def result(
-        self, experiment: str, key: tuple[str, ...], outcome: Outcome
+        self,
+        experiment: str,
+        key: tuple[str, ...],
+        outcome: Outcome,
+        extra: dict[str, Any] | None = None,
     ) -> None:
-        self._write(
-            {
-                "type": "result",
-                "experiment": experiment,
-                "key": list(key),
-                "outcome": outcome_to_json(outcome),
-            }
-        )
+        """Write one result record.
+
+        ``extra`` merges experiment-specific context into the record
+        (e.g. the BOOM hunt's classified mis-speculation source and
+        active exclusions); it must not collide with the base fields.
+        """
+        record = {
+            "type": "result",
+            "experiment": experiment,
+            "key": list(key),
+            "outcome": outcome_to_json(outcome),
+        }
+        if extra:
+            overlap = set(extra) & set(record)
+            if overlap:
+                raise ValueError(f"extra fields shadow base fields: {overlap}")
+            record.update(extra)
+        self._write(record)
 
     def _write(self, record: dict[str, Any]) -> None:
         self._stream.write(json.dumps(record, sort_keys=True) + "\n")

@@ -1,4 +1,4 @@
-"""Multiprocess verification campaigns: root + sub-root sharding.
+"""Campaign scheduling: root + sub-root sharding over pluggable backends.
 
 The paper's evaluation (Tables 2/3, Fig. 2, the BOOM hunt) is a grid of
 *independent* verification tasks, and inside each task the secret-pair
@@ -8,7 +8,17 @@ states with another root's (visited-set keys embed the root index), so
 - one :class:`repro.core.verifier.VerificationTask` shards into one
   subtask per root, and
 - a whole campaign -- one bench table -- fans all shards of all units
-  across a ``ProcessPoolExecutor``.
+  across an execution backend.
+
+**Backends.**  The scheduler plans shards; *where* they run is a
+pluggable :class:`repro.campaign.backends.ExecutionBackend`:
+``SerialBackend`` (inline, the deterministic reference),
+``ProcessPoolBackend`` (the single-host fan-out, the default for
+``n_workers > 1``) or ``SocketClusterBackend`` (a TCP coordinator
+feeding ``python -m repro.campaign.worker`` agents on any number of
+hosts).  A shard's outcome is a pure function of its picklable
+:class:`repro.campaign.backends.WorkItem`, so merged results are
+bit-identical across backends; only wall-clock moves.
 
 **Sub-root sharding.**  Root sharding cannot split a workload dominated
 by a *single* root's subtree (the Fig. 2 ROB sweep points).  Below the
@@ -17,10 +27,25 @@ cycle's nondeterministic choices (instruction assignments, predictor
 bits) partition the root's DFS into subtrees whose environments diverge
 permanently, so they can never share a visited state (see
 :class:`repro.mc.explorer.RootExpansion`).  When a unit has fewer roots
-than the pool has workers (or ``subroot="always"``), the scheduler
+than the backend has capacity (or ``subroot="always"``), the scheduler
 expands each root's first cycle in-process (cheap: one product cycle per
 choice) and dispatches one seeded shard per surviving child
 (:meth:`repro.mc.explorer.Explorer.run_seeded`).
+
+**Work-stealing rebalance.**  First-cycle slices are far from even (the
+Fig. 2 ROB-8 cell's 7 shards are dominated by one); when the backend
+reports idle capacity while such a slice is still in flight, the
+scheduler *steals* it: the slice's entry is expanded one more cycle
+in-process (:meth:`repro.mc.explorer.Explorer.expand_entry` -- the
+independence argument recurses again) and its depth-2 children are
+requeued as fresh shards that race the original.  Whichever
+representation finishes first wins and the loser is cancelled/discarded;
+both merge to bit-identical outcomes (prelude + children replayed in
+serial LIFO order *is* the original slice), so rebalance never perturbs
+results -- it only converts idle capacity into wall-clock.  Slices of
+``shared_visited`` units are never stolen: their stats are
+timing-dependent already, and a discarded racer would have polluted the
+unit's cross-process filter with subtrees nobody merged.
 
 **Determinism.**  The serial engine's LIFO stack explores roots in
 *reversed* list order, finishing one root's subtree before touching the
@@ -30,15 +55,16 @@ to the first, summing search stats, and adopt the first non-proof as the
 unit verdict.  Sub-root shards merge the same way one level down --
 children in reversed yield order, the expansion prelude (root state +
 every first-cycle transition) added on top -- before entering the root
-scan.  Under budgets generous enough that no shard times out, the merged
-outcome -- verdict, counterexample *and* state/transition counts -- is
-bit-identical to the monolithic serial search, for every worker count
-and either shard granularity.  (When a budget *does* trip, verdicts may
-legitimately differ across worker counts: each shard gets the task's
-full ``timeout_s``, so parallelism completes searches the serial engine
-would time out on.)  ``n_workers=1`` does not shard at all: it runs
-today's serial path unchanged, which is the reproducibility baseline
-the merged results are tested against.
+scan; stolen slices nest the same composition once more.  Under budgets
+generous enough that no shard times out, the merged outcome -- verdict,
+counterexample *and* state/transition counts -- is bit-identical to the
+monolithic serial search, for every backend, worker count and shard
+granularity.  (When a budget *does* trip, verdicts may legitimately
+differ across capacities: each shard gets the task's full ``timeout_s``,
+so parallelism completes searches the serial engine would time out on.)
+``n_workers=1`` with no explicit backend does not shard at all: it runs
+the historical serial path unchanged, which is the reproducibility
+baseline the merged results are tested against.
 
 **Short-circuiting.**  A unit is decided as soon as the serial-order scan
 hits a non-proof with every serially-earlier root proved; the remaining
@@ -46,51 +72,90 @@ hits a non-proof with every serially-earlier root proved; the remaining
 which would never have explored them.
 
 **Shared visited filters.**  A unit whose task opts into
-``shared_visited`` gets one cross-process fingerprint filter
-(:class:`repro.mc.shared_filter.SharedVisitedFilter`) spanning all of its
-shards: every worker inserts the canonical fingerprint of each state it
-expands and skips states some sibling shard already owns.  Verdict kinds
-are preserved (see the filter module's soundness note); explored-state
-counts become timing-dependent, so shared-visited units are excluded from
-the bit-identity contract above -- the mode trades reproducible statistics
-for less total work on symmetric-root units.
+``shared_visited`` asks the *backend* for one cross-process fingerprint
+filter (:class:`repro.mc.shared_filter.SharedVisitedFilter`) spanning
+all of its shards, sized by the unit's expected-state cost model
+(:func:`repro.mc.shared_filter.suggest_capacity`: roots x first-frontier
+width ^ depth bound, clamped).  Backends that cannot share memory with
+their workers (serial: pointless; socket: workers live on other hosts)
+return ``None`` and the unit soundly degrades to unshared search.
+Verdict kinds are preserved (see the filter module's post-order
+soundness note); explored-state counts become timing-dependent, so
+shared-visited units are excluded from the bit-identity contract above
+-- the mode trades reproducible statistics for less total work on
+symmetric-root units.
 
 **Budget.**  ``budget_s`` is one shared wall-clock budget for the whole
 campaign.  The scheduler stamps the corresponding absolute deadline into
 every shard's :class:`repro.mc.explorer.SearchLimits`, so in-flight
-worker searches cancel themselves (the paper's third outcome, timeout),
-and units that cannot start before the deadline are reported as timeouts
-without running.
+worker searches cancel themselves (the paper's third outcome, timeout);
+the socket backend re-anchors the deadline as a remaining budget at send
+time (absolute monotonic clocks do not cross hosts).  Units that cannot
+start before the deadline are reported as timeouts without running.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.campaign.backends import (
+    BACKEND_NAMES,
+    BUDGET_NOTE,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardFailure,
+    WorkItem,
+    budget_outcome as _budget_outcome,
+    resolve_workers,
+)
 from repro.campaign.log import CampaignLog
 from repro.core.verifier import VerificationTask, verify
-from repro.mc.explorer import (
-    Explorer,
-    FrontierEntry,
-    Root,
-    RootExpansion,
-    SearchLimits,
-)
-from repro.mc.result import PROVED, TIMEOUT, Outcome, SearchStats
-from repro.mc.shared_filter import SharedVisitedFilter
+from repro.isa.instruction import Opcode
+from repro.mc.explorer import Explorer, Root, RootExpansion
+from repro.mc.result import PROVED, Outcome, SearchStats
+from repro.mc.shared_filter import suggest_capacity
 
-#: ``note`` attached to outcomes synthesized when the campaign budget
-#: expires before a unit could run.
-BUDGET_NOTE = "campaign budget exhausted"
+__all__ = [
+    "BACKEND_NAMES",
+    "BUDGET_NOTE",
+    "SUBROOT_MODES",
+    "CampaignResult",
+    "CampaignUnit",
+    "resolve_workers",
+    "run_campaign",
+    "verify_sharded",
+]
 
 #: Valid ``subroot`` modes: split below the root when a unit has fewer
-#: roots than the pool has workers / always / never.
+#: roots than the backend has capacity / always / never.
 SUBROOT_MODES = ("auto", "always", "never")
+
+
+@dataclass
+class CampaignTelemetry:
+    """Observability counters for the last sharded campaign.
+
+    Purely diagnostic -- none of these affect results (the bit-identity
+    contract is exactly that they cannot).  ``steals`` counts sub-root
+    slices re-split by the work-stealing rebalance, ``steal_settled``
+    the subset the in-process expansion decided outright, ``steal_won``
+    the races the depth-2 re-split finished first.
+    """
+
+    backend: str = ""
+    capacity: int = 0
+    steals: int = 0
+    steal_settled: int = 0
+    steal_won: int = 0
+
+
+#: Telemetry of the most recent sharded campaign in this process
+#: (``n_workers=1`` serial-path runs do not touch it).
+LAST_TELEMETRY = CampaignTelemetry()
 
 
 @dataclass(frozen=True)
@@ -115,15 +180,6 @@ class CampaignResult:
     outcome: Outcome
 
 
-def resolve_workers(n_workers: int | None) -> int:
-    """``None`` means one worker per CPU (the campaign default)."""
-    if n_workers is None:
-        n_workers = os.cpu_count() or 1
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
-    return n_workers
-
-
 def _check_picklable(unit: CampaignUnit) -> None:
     try:
         pickle.dumps(unit.task)
@@ -136,81 +192,17 @@ def _check_picklable(unit: CampaignUnit) -> None:
         ) from None
 
 
-def _attach_filter(task: VerificationTask, filter_name: str | None):
-    """Attach the unit's shared visited filter inside a worker, if any."""
-    if filter_name is None or not task.shared_visited:
-        return None
-    try:
-        return SharedVisitedFilter.attach(filter_name)
-    except OSError:
-        # The segment is gone (unit already decided and cleaned up, or the
-        # platform lost it): degrade to unshared search, which is always
-        # sound -- the filter only ever saves work.
-        return None
-
-
-def _run_shard(
-    task: VerificationTask, filter_name: str | None = None
-) -> Outcome:
-    """Worker entry point: verify one single-root subtask.
-
-    A shard popped from the pool queue after the campaign deadline has
-    already passed reports the budget timeout without searching at all
-    (mirroring the serial path's pre-unit deadline check).
-    """
-    deadline = task.limits.deadline
-    if deadline is not None and time.monotonic() >= deadline:
-        return _budget_outcome()
-    visited_filter = _attach_filter(task, filter_name)
-    try:
-        return verify(task, visited_filter=visited_filter)
-    finally:
-        if visited_filter is not None:
-            visited_filter.close()
-
-
-def _run_subroot_shard(
-    task: VerificationTask,
-    entry: FrontierEntry,
-    filter_name: str | None = None,
-) -> Outcome:
-    """Worker entry point: search one first-cycle subtree of a root."""
-    deadline = task.limits.deadline
-    if deadline is not None and time.monotonic() >= deadline:
-        return _budget_outcome()
-    visited_filter = _attach_filter(task, filter_name)
-    try:
-        explorer = Explorer(
-            task.build_product(),
-            task.space,
-            task.build_roots(),
-            task.limits,
-            shared_visited=task.shared_visited,
-            visited_filter=visited_filter,
-        )
-        return explorer.run_seeded([entry])
-    finally:
-        if visited_filter is not None:
-            visited_filter.close()
-
-
-def _budget_outcome() -> Outcome:
-    return Outcome(
-        kind=TIMEOUT, elapsed=0.0, stats=SearchStats(), note=BUDGET_NOTE
-    )
-
-
 def _merge_serial(outcomes: Sequence[Outcome | None]) -> Outcome | None:
     """Merge sibling shard outcomes in serial exploration order.
 
-    Siblings are a unit's roots or one root's first-cycle children; both
-    are pushed in list order onto the serial engine's LIFO stack, so the
-    scan runs from the last entry to the first, summing search stats, and
-    adopts the first non-proof as the verdict.  Returns ``None`` while
-    the merge is still blocked on a pending shard (``outcomes[i] is
-    None``); pending shards *behind* the deciding one are serially dead
-    -- the serial engine would never have explored them -- so they
-    neither block nor contribute.
+    Siblings are a unit's roots, one root's first-cycle children, or one
+    stolen slice's depth-2 children; all are pushed in list order onto
+    the serial engine's LIFO stack, so the scan runs from the last entry
+    to the first, summing search stats, and adopts the first non-proof as
+    the verdict.  Returns ``None`` while the merge is still blocked on a
+    pending shard (``outcomes[i] is None``); pending shards *behind* the
+    deciding one are serially dead -- the serial engine would never have
+    explored them -- so they neither block nor contribute.
     """
     merged_stats = SearchStats()
     elapsed = 0.0
@@ -236,11 +228,11 @@ def _merge_serial(outcomes: Sequence[Outcome | None]) -> Outcome | None:
 
 
 def _prepend_prelude(expansion: RootExpansion, merged: Outcome) -> Outcome:
-    """Add a root expansion's prelude on top of its children's merge.
+    """Add an expansion's prelude on top of its children's merge.
 
-    The serial engine pays for the root state and *every* first-cycle
-    transition before it descends into any child, so the prelude is added
-    unconditionally -- even when a child decided the root.
+    The serial engine pays for the expanded state and *every* one of its
+    transitions before it descends into any child, so the prelude is
+    added unconditionally -- even when a child decided the subtree.
     """
     return replace(
         merged,
@@ -249,12 +241,34 @@ def _prepend_prelude(expansion: RootExpansion, merged: Outcome) -> Outcome:
     )
 
 
+class _StealGroup:
+    """The depth-2 re-split of one stolen sub-root slice.
+
+    Prelude (the slice's own node and first transitions) plus one
+    outcome per depth-2 child; :meth:`outcome` composes them exactly
+    like a root slot composes its first-cycle children, which is why the
+    group is interchangeable with the original whole-slice shard.
+    """
+
+    def __init__(self, expansion: RootExpansion):
+        self.expansion = expansion
+        self.outcomes: list[Outcome | None] = [None] * len(expansion.entries)
+        self.tickets: list[int] = []
+
+    def outcome(self) -> Outcome | None:
+        merged = _merge_serial(self.outcomes)
+        if merged is None:
+            return None
+        return _prepend_prelude(self.expansion, merged)
+
+
 class _RootSlot:
     """Shard book-keeping for one root of a unit.
 
-    A slot is either a *whole-root* shard (one worker future, the
-    historical granularity) or a *split* root (an in-process first-cycle
-    expansion plus one seeded worker future per surviving child).
+    A slot is either a *whole-root* shard (one ticket, the historical
+    granularity) or a *split* root (an in-process first-cycle expansion
+    plus one seeded ticket per surviving child, some of which may be
+    re-split again by the work-stealing rebalance).
     """
 
     def __init__(self, root: Root, subtask: VerificationTask):
@@ -263,7 +277,10 @@ class _RootSlot:
         self.expansion: RootExpansion | None = None
         self.sub_outcomes: list[Outcome | None] = []
         self.whole: Outcome | None = None
-        self.futures: list = []  # this slot's in-flight sub-root shards
+        self.tickets: list[int] = []  # every ticket under this slot
+        self.sub_tickets: dict[int, int] = {}  # sub position -> ticket
+        self.groups: dict[int, _StealGroup] = {}  # sub position -> steal
+        self.unstealable: set[int] = set()
 
     def plan_subroot(self) -> bool:
         """Expand the root's first cycle; ``True`` if no worker is needed.
@@ -304,18 +321,6 @@ class _RootSlot:
             return None
         return _prepend_prelude(self.expansion, merged)
 
-    def cancel_if_decided(self) -> None:
-        """Cancel sub-shards a decided root no longer needs.
-
-        A root settled by a serially-early non-proof sub-shard leaves its
-        serially-later siblings dead even while the *unit* is still
-        blocked on other roots; the merge already ignores them, so stop
-        paying for them.
-        """
-        if self.expansion is not None and self.outcome() is not None:
-            for future in self.futures:
-                future.cancel()
-
     def fill_pending_with_budget(self) -> None:
         """Stand in budget timeouts for shards that never reported."""
         if self.whole is not None:
@@ -335,11 +340,11 @@ class _UnitState:
         self.index = index
         self.unit = unit
         self.slots = slots
-        self.futures: dict = {}  # future -> (root position, sub position)
+        self.tickets: list[int] = []  # every ticket under this unit
         self.final: Outcome | None = None
         # Cross-process visited filter for shared_visited units (one per
         # unit: sharing across units would be unsound -- different tasks).
-        self.vfilter: SharedVisitedFilter | None = None
+        self.vfilter = None
 
     @property
     def filter_name(self) -> str | None:
@@ -350,71 +355,12 @@ class _UnitState:
 
         Safe while shards are still mapped: an unlinked segment lives on
         until every worker detaches, and a worker attaching *after* the
-        unlink degrades to unshared search (``_attach_filter``).
+        unlink degrades to unshared search.
         """
         if self.vfilter is not None:
             self.vfilter.close()
             self.vfilter.unlink()
             self.vfilter = None
-
-    def try_finalize(self) -> bool:
-        """Attempt the serial-order merge; cancel obsolete shards."""
-        if self.final is not None:
-            return True
-        merged = _merge_serial([slot.outcome() for slot in self.slots])
-        if merged is None:
-            return False
-        self.final = merged
-        for future in self.futures:
-            future.cancel()
-        # The filter is useless once the unit's verdict is merged; free
-        # its segment now instead of holding it for the whole campaign.
-        self.release_filter()
-        return True
-
-
-def run_campaign(
-    units: Sequence[CampaignUnit],
-    *,
-    n_workers: int | None = None,
-    budget_s: float | None = None,
-    log: CampaignLog | None = None,
-    experiment: str = "campaign",
-    subroot: str = "auto",
-) -> list[CampaignResult]:
-    """Run a campaign; results align with ``units`` (deterministic order).
-
-    ``n_workers=1`` runs every unit through the plain serial
-    :func:`repro.core.verifier.verify` -- exactly the pre-campaign code
-    path.  ``n_workers>1`` shards units across their roots and fans every
-    shard over a process pool; merged outcomes are deterministic (see the
-    module docstring).  ``subroot`` controls sharding *below* the root:
-    ``"auto"`` splits a unit's roots into per-first-choice subtrees when
-    the unit has fewer roots than the pool has workers (single-root
-    workloads root sharding cannot touch), ``"always"`` forces the split
-    (the CI determinism smoke), ``"never"`` keeps the root granularity.
-    ``budget_s`` is a shared wall-clock budget; units it cuts off report
-    timeout outcomes noted ``"campaign budget exhausted"``.
-    """
-    units = list(units)
-    n_workers = resolve_workers(n_workers)
-    if subroot not in SUBROOT_MODES:
-        raise ValueError(f"subroot must be one of {SUBROOT_MODES}")
-    deadline = None if budget_s is None else time.monotonic() + budget_s
-    if log is not None:
-        log.header(experiment, n_workers, len(units))
-    # Results stream to the log in submission order as units finalize
-    # (each record is flushed), so an interrupted campaign keeps every
-    # completed prefix for --from-log re-rendering.
-    sink = _ResultSink(units, log)
-    if n_workers == 1:
-        outcomes = _run_serial(units, deadline, sink)
-    else:
-        outcomes = _run_parallel(units, n_workers, deadline, sink, subroot)
-    return [
-        CampaignResult(unit.experiment, unit.key, outcome)
-        for unit, outcome in zip(units, outcomes)
-    ]
 
 
 class _ResultSink:
@@ -445,6 +391,97 @@ class _ResultSink:
             self._next += 1
 
 
+def _resolve_backend(
+    backend, n_workers: int | None
+) -> tuple[ExecutionBackend | None, bool, int]:
+    """Map the ``backend`` argument onto (instance, owned-here, capacity).
+
+    ``None`` keeps the historical behavior -- the serial fast path for
+    one worker, an implicit process pool otherwise (instance ``None``
+    here; :func:`_run_sharded` constructs it after planning so the pool
+    can still be clamped to the shard count).
+    """
+    if backend is None:
+        workers = resolve_workers(n_workers)
+        return None, True, workers
+    if isinstance(backend, ExecutionBackend):
+        return backend, False, max(1, backend.capacity())
+    if backend == "serial":
+        built = SerialBackend()
+        return built, True, built.capacity()
+    if backend == "process":
+        built = ProcessPoolBackend(resolve_workers(n_workers))
+        return built, True, built.capacity()
+    if backend == "socket":
+        raise ValueError(
+            "backend='socket' needs live connection state: construct "
+            "repro.campaign.backends.SocketClusterBackend(...), connect or "
+            "spawn its workers, and pass the instance (the campaign CLI's "
+            "--backend socket does exactly this)"
+        )
+    raise ValueError(
+        f"unknown backend {backend!r}; expected an ExecutionBackend "
+        f"instance or one of {BACKEND_NAMES}"
+    )
+
+
+def run_campaign(
+    units: Sequence[CampaignUnit],
+    *,
+    n_workers: int | None = None,
+    budget_s: float | None = None,
+    log: CampaignLog | None = None,
+    experiment: str = "campaign",
+    subroot: str = "auto",
+    backend=None,
+    rebalance: bool = True,
+) -> list[CampaignResult]:
+    """Run a campaign; results align with ``units`` (deterministic order).
+
+    ``backend`` selects the executor: ``None`` (default) keeps the
+    historical behavior -- ``n_workers=1`` runs every unit through the
+    plain serial :func:`repro.core.verifier.verify`, larger counts fan
+    shards over an implicit process pool; ``"serial"`` / ``"process"``
+    name the corresponding :mod:`repro.campaign.backends` class; a
+    live :class:`repro.campaign.backends.ExecutionBackend` instance
+    (e.g. a connected ``SocketClusterBackend``) is used as-is and left
+    open for the caller to reuse.  Merged outcomes are bit-identical
+    across backends (see the module docstring).
+
+    ``subroot`` controls sharding *below* the root: ``"auto"`` splits a
+    unit's roots into per-first-choice subtrees when the unit has fewer
+    roots than the backend has capacity (single-root workloads root
+    sharding cannot touch), ``"always"`` forces the split (the CI
+    determinism smoke), ``"never"`` keeps the root granularity.
+    ``rebalance`` enables work-stealing of dominant sub-root slices into
+    depth-2 shards when capacity idles (bit-identical either way).
+    ``budget_s`` is a shared wall-clock budget; units it cuts off report
+    timeout outcomes noted ``"campaign budget exhausted"``.
+    """
+    units = list(units)
+    if subroot not in SUBROOT_MODES:
+        raise ValueError(f"subroot must be one of {SUBROOT_MODES}")
+    deadline = None if budget_s is None else time.monotonic() + budget_s
+    backend_obj, owned, capacity = _resolve_backend(backend, n_workers)
+    if log is not None:
+        log.header(experiment, capacity, len(units))
+    # Results stream to the log in submission order as units finalize
+    # (each record is flushed), so an interrupted campaign keeps every
+    # completed prefix for --from-log re-rendering.
+    sink = _ResultSink(units, log)
+    if backend is None and capacity == 1:
+        outcomes = _run_serial(units, deadline, sink)
+    else:
+        outcomes = _run_sharded(
+            units, backend_obj, owned, capacity, deadline, sink, subroot,
+            rebalance,
+        )
+    return [
+        CampaignResult(unit.experiment, unit.key, outcome)
+        for unit, outcome in zip(units, outcomes)
+    ]
+
+
 def _stamp_deadline(task: VerificationTask, deadline: float | None):
     if deadline is None:
         return task
@@ -468,12 +505,36 @@ def _run_serial(
     return outcomes
 
 
-def _run_parallel(
+def _frontier_width(task: VerificationTask) -> int:
+    """First-cycle fan-out estimate for the filter cost model.
+
+    One open slot fetched on the first cycle yields one child per
+    instruction, twice that for nondeterministically-predicted branches
+    -- the measured widths (7 for the Fig. 2 sweep space, 13 for
+    SPACE_SIMPLE) are reproduced exactly by this count.
+    """
+    return sum(
+        2 if inst.op is Opcode.BRANCH else 1
+        for inst in task.space.instructions()
+    )
+
+
+def _filter_capacity(unit: CampaignUnit, n_roots: int) -> int:
+    """Cost-model filter size: roots x frontier width ^ depth bound."""
+    task = unit.task
+    depth = task.core_factory().params.imem_size
+    return suggest_capacity(n_roots, _frontier_width(task), depth)
+
+
+def _run_sharded(
     units: list[CampaignUnit],
-    n_workers: int,
+    backend: ExecutionBackend | None,
+    owned: bool,
+    capacity: int,
     deadline: float | None,
     sink: _ResultSink,
     subroot: str,
+    rebalance: bool,
 ) -> list[Outcome]:
     for unit in units:
         _check_picklable(unit)
@@ -490,91 +551,148 @@ def _run_parallel(
         states.append(_UnitState(index, unit, slots))
         split.append(
             subroot == "always"
-            or (subroot == "auto" and len(roots) < n_workers)
+            or (subroot == "auto" and len(roots) < capacity)
         )
-    total_root_shards = sum(len(s.slots) for s in states)
-    # Splitting exists to raise the shard count above the root count, so
-    # only clamp the pool to the root count when nothing will split.
-    if any(split):
-        max_workers = n_workers
-    else:
-        max_workers = max(1, min(n_workers, total_root_shards))
-    pending: set = set()
-    owner: dict = {}  # future -> (unit state, (root position, sub position))
+    if backend is None:
+        # Implicit process pool: splitting exists to raise the shard
+        # count above the root count, so only clamp the pool to the root
+        # count when nothing will split.
+        total_root_shards = sum(len(s.slots) for s in states)
+        if not any(split):
+            capacity = max(1, min(capacity, total_root_shards))
+        backend = ProcessPoolBackend(capacity)
+        owned = True
+    backend.set_deadline(deadline)
+    global LAST_TELEMETRY
+    telemetry = CampaignTelemetry(backend=backend.name, capacity=capacity)
+    LAST_TELEMETRY = telemetry
+    #: ticket -> (unit state, root position, sub position, steal index)
+    owner: dict[int, tuple[_UnitState, int, int | None, int | None]] = {}
+    submitted: dict[int, float] = {}  # ticket -> submit instant
+
+    def cancel_ticket(ticket: int) -> None:
+        backend.cancel(ticket)
+        owner.pop(ticket, None)
+        submitted.pop(ticket, None)
+
+    def try_finalize(state: _UnitState) -> bool:
+        """Attempt the serial-order merge; cancel obsolete shards."""
+        if state.final is not None:
+            return True
+        merged = _merge_serial([slot.outcome() for slot in state.slots])
+        if merged is None:
+            return False
+        state.final = merged
+        for ticket in state.tickets:
+            cancel_ticket(ticket)
+        # The filter is useless once the unit's verdict is merged; free
+        # its segment now instead of holding it for the whole campaign.
+        state.release_filter()
+        return True
+
+    def cancel_if_decided(slot: _RootSlot) -> None:
+        """Cancel sub-shards a decided root no longer needs.
+
+        A root settled by a serially-early non-proof sub-shard leaves its
+        serially-later siblings dead even while the *unit* is still
+        blocked on other roots; the merge already ignores them, so stop
+        paying for them.
+        """
+        if slot.expansion is not None and slot.outcome() is not None:
+            for ticket in slot.tickets:
+                cancel_ticket(ticket)
+
+    def submit(
+        state: _UnitState,
+        slot: _RootSlot,
+        item: WorkItem,
+        root_pos: int,
+        sub_pos: int | None,
+        steal_idx: int | None = None,
+    ) -> int:
+        ticket = backend.submit_unit(item)
+        owner[ticket] = (state, root_pos, sub_pos, steal_idx)
+        submitted[ticket] = time.monotonic()
+        state.tickets.append(ticket)
+        if sub_pos is not None:
+            slot.tickets.append(ticket)
+            if steal_idx is None:
+                slot.sub_tickets[sub_pos] = ticket
+        return ticket
+
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for state in states:
-                if deadline is not None and time.monotonic() >= deadline:
-                    state.final = _budget_outcome()
-                    sink.offer(state.index, state.final)
+        for state in states:
+            if deadline is not None and time.monotonic() >= deadline:
+                state.final = _budget_outcome()
+                sink.offer(state.index, state.final)
+                continue
+            if state.unit.task.shared_visited:
+                state.vfilter = backend.make_filter(
+                    _filter_capacity(state.unit, len(state.slots))
+                )
+            # Plan and submit in *serial* order (last slot first, the
+            # LIFO exploration order): a serially-early root the planner
+            # settles in-process with a non-proof kills its siblings
+            # before any of their planning or submission work is paid.
+            for root_pos in reversed(range(len(state.slots))):
+                if try_finalize(state):
+                    break  # serially-earlier slots decided the unit
+                slot = state.slots[root_pos]
+                if split[state.index] and slot.plan_subroot():
+                    continue  # settled in-process by the expansion
+                if slot.expansion is None:
+                    submit(
+                        state,
+                        slot,
+                        WorkItem(slot.subtask, None, state.filter_name),
+                        root_pos,
+                        None,
+                    )
+                else:
+                    for sub_pos, entry in enumerate(slot.expansion.entries):
+                        submit(
+                            state,
+                            slot,
+                            WorkItem(slot.subtask, entry, state.filter_name),
+                            root_pos,
+                            sub_pos,
+                        )
+            # Zero-root tasks and units fully settled while planning
+            # (first-cycle attacks, empty frontiers) finalize immediately.
+            if try_finalize(state):
+                sink.offer(state.index, state.final)
+        for ticket, outcome in backend.as_completed():
+            info = owner.pop(ticket, None)
+            submitted.pop(ticket, None)
+            if info is None:
+                continue  # cancelled or superseded: a stale result
+            state, root_pos, sub_pos, steal_idx = info
+            if state.final is not None:
+                continue
+            slot = state.slots[root_pos]
+            if isinstance(outcome, ShardFailure):
+                if _handle_shard_failure(
+                    state, slot, sub_pos, steal_idx, outcome, cancel_ticket
+                ):
                     continue
-                if state.unit.task.shared_visited:
-                    try:
-                        state.vfilter = SharedVisitedFilter.create()
-                    except (OSError, ImportError):
-                        state.vfilter = None  # degrade to unshared (sound)
-                # Plan and submit in *serial* order (last slot first, the
-                # LIFO exploration order): a serially-early root the
-                # planner settles in-process with a non-proof kills its
-                # siblings before any of their planning or submission work
-                # is paid.
-                for root_pos in reversed(range(len(state.slots))):
-                    if state.try_finalize():
-                        break  # serially-earlier slots decided the unit
-                    slot = state.slots[root_pos]
-                    if split[state.index] and slot.plan_subroot():
-                        continue  # settled in-process by the expansion
-                    if slot.expansion is None:
-                        shard_futures = [
-                            (
-                                None,
-                                pool.submit(
-                                    _run_shard, slot.subtask, state.filter_name
-                                ),
-                            )
-                        ]
-                    else:
-                        shard_futures = [
-                            (
-                                sub_pos,
-                                pool.submit(
-                                    _run_subroot_shard,
-                                    slot.subtask,
-                                    entry,
-                                    state.filter_name,
-                                ),
-                            )
-                            for sub_pos, entry in enumerate(
-                                slot.expansion.entries
-                            )
-                        ]
-                    for sub_pos, future in shard_futures:
-                        state.futures[future] = (root_pos, sub_pos)
-                        owner[future] = (state, (root_pos, sub_pos))
-                        pending.add(future)
-                        if sub_pos is not None:
-                            slot.futures.append(future)
-                # Zero-root tasks and units fully settled while planning
-                # (first-cycle attacks, empty frontiers) finalize
-                # immediately.
-                if state.try_finalize():
-                    sink.offer(state.index, state.final)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    state, (root_pos, sub_pos) = owner.pop(future)
-                    if future.cancelled() or state.final is not None:
-                        continue
-                    slot = state.slots[root_pos]
-                    if sub_pos is None:
-                        slot.whole = future.result()
-                    else:
-                        slot.sub_outcomes[sub_pos] = future.result()
-                    if state.try_finalize():
-                        sink.offer(state.index, state.final)
-                    else:
-                        slot.cancel_if_decided()
-                pending = {f for f in pending if not f.cancelled()}
+                raise RuntimeError(
+                    "campaign shard for unit "
+                    f"{state.unit.experiment}/{'/'.join(state.unit.key)} "
+                    f"failed: {outcome.message}"
+                )
+            _record_outcome(
+                slot, sub_pos, steal_idx, outcome, cancel_ticket, telemetry
+            )
+            if try_finalize(state):
+                sink.offer(state.index, state.final)
+            else:
+                cancel_if_decided(slot)
+            if rebalance and backend.capacity() > 1:
+                _maybe_steal(
+                    backend, owner, submitted, deadline, submit,
+                    try_finalize, cancel_if_decided, cancel_ticket, sink,
+                    telemetry,
+                )
         for state in states:
             if state.final is None:  # every shard cancelled under it
                 for slot in state.slots:
@@ -589,6 +707,163 @@ def _run_parallel(
         # whatever an abort or cancellation left behind.
         for state in states:
             state.release_filter()
+        if owned:
+            backend.close()
+        else:
+            # Caller-provided backends are reusable (the BOOM hunt runs
+            # many rounds on one cluster): clear this campaign's deadline
+            # so the next campaign does not inherit it.
+            backend.set_deadline(None)
+
+
+def _handle_shard_failure(
+    state: _UnitState,
+    slot: _RootSlot,
+    sub_pos: int | None,
+    steal_idx: int | None,
+    failure: ShardFailure,
+    cancel_ticket,
+) -> bool:
+    """``True`` if a raising shard can be ignored (serially dead).
+
+    Mirrors the serial engine: work it would never have run cannot fail
+    a campaign.  A failing *steal racer* is also non-fatal -- the group
+    is torn down and the original whole-slice shard (which explores the
+    same subtree, so a deterministic failure would resurface there)
+    decides the slice.
+    """
+    if steal_idx is not None:
+        group = slot.groups.pop(sub_pos, None)
+        if group is not None:
+            for ticket in group.tickets:
+                cancel_ticket(ticket)
+        slot.unstealable.add(sub_pos)
+        return True
+    if sub_pos is None:
+        return slot.whole is not None
+    return slot.sub_outcomes[sub_pos] is not None or slot.outcome() is not None
+
+
+def _record_outcome(
+    slot: _RootSlot,
+    sub_pos: int | None,
+    steal_idx: int | None,
+    outcome: Outcome,
+    cancel_ticket,
+    telemetry: CampaignTelemetry,
+) -> None:
+    """Fold one shard outcome into its slot (original or steal racer)."""
+    if sub_pos is None:
+        if slot.whole is None:
+            slot.whole = outcome
+        return
+    if slot.sub_outcomes[sub_pos] is not None:
+        return  # the other racer already settled this slice
+    if steal_idx is None:
+        # The original whole-slice shard won (or was never raced).
+        slot.sub_outcomes[sub_pos] = outcome
+        group = slot.groups.pop(sub_pos, None)
+        if group is not None:
+            for ticket in group.tickets:
+                cancel_ticket(ticket)
+        return
+    group = slot.groups.get(sub_pos)
+    if group is None:
+        return  # group torn down by the original finishing first
+    group.outcomes[steal_idx] = outcome
+    composed = group.outcome()
+    if composed is None:
+        return
+    slot.sub_outcomes[sub_pos] = composed
+    del slot.groups[sub_pos]
+    telemetry.steal_won += 1
+    cancel_ticket(slot.sub_tickets[sub_pos])  # the out-raced original
+    for ticket in group.tickets:
+        cancel_ticket(ticket)
+
+
+def _maybe_steal(
+    backend: ExecutionBackend,
+    owner: dict,
+    submitted: dict,
+    deadline: float | None,
+    submit,
+    try_finalize,
+    cancel_if_decided,
+    cancel_ticket,
+    sink: _ResultSink,
+    telemetry: CampaignTelemetry,
+) -> None:
+    """Re-split the longest-running sub-root slice when capacity idles.
+
+    The candidate is raced, not preempted: its depth-2 children are
+    requeued alongside it and whichever representation completes first
+    wins (the compositions are bit-identical, so the race cannot change
+    results).  At most one steal per completion event keeps the
+    in-process expansion cost bounded.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        return
+    if backend.capacity() - backend.outstanding() < 1:
+        # No genuinely idle slots (the backend counts cancelled-but-
+        # still-running shards that scheduler bookkeeping cannot see).
+        return
+    candidate = None
+    for ticket, (state, root_pos, sub_pos, steal_idx) in owner.items():
+        if steal_idx is not None or sub_pos is None:
+            continue  # only whole, un-stolen sub-root slices are targets
+        if state.final is not None or state.unit.task.shared_visited:
+            continue
+        slot = state.slots[root_pos]
+        if sub_pos in slot.groups or sub_pos in slot.unstealable:
+            continue
+        if slot.sub_outcomes[sub_pos] is not None or slot.outcome() is not None:
+            continue
+        age = submitted.get(ticket, 0.0)
+        if candidate is None or age < candidate[0]:
+            candidate = (age, ticket, state, root_pos, sub_pos)
+    if candidate is None:
+        return
+    _, ticket, state, root_pos, sub_pos = candidate
+    slot = state.slots[root_pos]
+    entry = slot.expansion.entries[sub_pos]
+    task = slot.subtask
+    explorer = Explorer(
+        task.build_product(), task.space, task.build_roots(), task.limits
+    )
+    expansion = explorer.expand_entry(entry)
+    telemetry.steals += 1
+    if expansion.decided is not None:
+        telemetry.steal_settled += 1
+        slot.sub_outcomes[sub_pos] = expansion.decided
+    elif not expansion.entries:
+        telemetry.steal_settled += 1
+        slot.sub_outcomes[sub_pos] = Outcome(
+            kind=PROVED, elapsed=expansion.elapsed, stats=expansion.stats
+        )
+    elif not expansion.splittable:
+        # A lone depth-2 child may share the slice's environment, voiding
+        # the disjointness argument; leave the original to finish.
+        slot.unstealable.add(sub_pos)
+        return
+    else:
+        group = _StealGroup(expansion)
+        slot.groups[sub_pos] = group
+        for steal_idx, child in enumerate(expansion.entries):
+            group.tickets.append(
+                submit(
+                    state, slot, WorkItem(task, child, None),
+                    root_pos, sub_pos, steal_idx,
+                )
+            )
+        return
+    # The in-process expansion settled the slice outright: retire the
+    # original shard and see whether the root or unit is now decided.
+    cancel_ticket(ticket)
+    if try_finalize(state):
+        sink.offer(state.index, state.final)
+    else:
+        cancel_if_decided(slot)
 
 
 def verify_sharded(
@@ -597,6 +872,8 @@ def verify_sharded(
     n_workers: int | None = None,
     budget_s: float | None = None,
     subroot: str = "auto",
+    backend=None,
+    rebalance: bool = True,
 ) -> Outcome:
     """Verify one task, its secret-pair roots sharded across workers.
 
@@ -604,9 +881,16 @@ def verify_sharded(
     attack hunt uses it to parallelize each exclusion round, and the
     Fig. 2 sweep points rely on its sub-root splitting (a single root's
     subtree dominates them -- root sharding alone cannot help).
+    ``backend`` accepts the same values as :func:`run_campaign`,
+    including a live (reusable) ``SocketClusterBackend``.
     """
     unit = CampaignUnit(experiment="task", key=("task",), task=task)
     [result] = run_campaign(
-        [unit], n_workers=n_workers, budget_s=budget_s, subroot=subroot
+        [unit],
+        n_workers=n_workers,
+        budget_s=budget_s,
+        subroot=subroot,
+        backend=backend,
+        rebalance=rebalance,
     )
     return result.outcome

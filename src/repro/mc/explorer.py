@@ -291,15 +291,39 @@ class Explorer:
         yield order.
         """
         [root] = self.roots
-        budget = _Budget(self.limits)
         imem_size = self.product.params.imem_size
         env = Environment.empty(imem_size)
         self.product.reset(root.dmem_pair)
-        snap = self.product.snapshot()
+        return self._expand_node(root, env, self.product.snapshot(), 0)
+
+    def expand_entry(self, entry: FrontierEntry) -> RootExpansion:
+        """Expand one frontier entry one more cycle; the depth-2 planner.
+
+        The work-stealing rebalance (:mod:`repro.campaign.scheduler`)
+        re-splits a dominant sub-root slice into its children's subtrees
+        with this: the independence argument of :class:`RootExpansion`
+        recurses verbatim (>= 2 surviving children means the cycle
+        concretized at least one slot or predictor bit, so the children's
+        environments conflict and their subtrees stay disjoint forever).
+        Stats mirror the serial engine visiting the entry node at its
+        absolute ``depth``: the prelude carries ``max_depth = depth``,
+        children start at ``depth + 1``, so ``prelude + merged children``
+        is bit-identical to :meth:`run_seeded` on the whole entry.
+        """
+        [root] = self.roots
+        self.product.reset(root.dmem_pair)
+        self.product.restore(entry.snap)
+        return self._expand_node(root, entry.env, entry.snap, entry.depth)
+
+    def _expand_node(
+        self, root: Root, env: Environment, snap: tuple, depth: int
+    ) -> RootExpansion:
+        """One-cycle expansion of a node the product currently embodies."""
+        budget = _Budget(self.limits)
         transitions = pruned = 0
         prune_reasons: dict[str, int] = {}
         if budget.exhausted(1):
-            stats = SearchStats(1, 0, 0, 0, {})
+            stats = SearchStats(1, 0, 0, depth, {})
             decided = Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
             return RootExpansion(decided, stats, budget.elapsed(), ())
         entries: list[FrontierEntry] = []
@@ -317,12 +341,12 @@ class Explorer:
                 prune_reasons[reason] = prune_reasons.get(reason, 0) + 1
                 continue
             if result.failed:
-                stats = SearchStats(1, transitions, pruned, 0, prune_reasons)
+                stats = SearchStats(1, transitions, pruned, depth, prune_reasons)
                 cex = Counterexample(
                     root_label=root.label,
                     dmem_pair=root.dmem_pair,
                     env=child_env,
-                    depth=1,
+                    depth=depth + 1,
                     reason=result.reason or "leakage",
                 )
                 decided = Outcome(
@@ -335,9 +359,9 @@ class Explorer:
             if self.product.quiescent():
                 continue
             entries.append(
-                FrontierEntry(child_env, self.product.snapshot(), 1)
+                FrontierEntry(child_env, self.product.snapshot(), depth + 1)
             )
-        stats = SearchStats(1, transitions, pruned, 0, prune_reasons)
+        stats = SearchStats(1, transitions, pruned, depth, prune_reasons)
         return RootExpansion(None, stats, budget.elapsed(), tuple(entries))
 
     # ------------------------------------------------------------------
@@ -415,7 +439,16 @@ class Explorer:
         # the popped node is exactly the child just stepped into.
         current = None
         while stack:
-            root_index, env, snap, kref, sid, depth = stack.pop()
+            node = stack.pop()
+            if vfilter is not None and len(node) == 1:
+                # Post-order completion marker: every descendant of the
+                # fingerprinted state has been popped and fully explored
+                # (a search that ends early returns before reaching the
+                # marker), so the subtree is now safe for sibling shards
+                # to skip (see repro.mc.shared_filter's soundness note).
+                vfilter.add(node[0])
+                continue
+            root_index, env, snap, kref, sid, depth = node
             if shared:
                 key = (canon_ids[root_index], env, sid)
             else:
@@ -435,11 +468,13 @@ class Explorer:
                     (pair_fps[root_index], env_fp, kref_fp)
                 )
                 if fingerprint in vfilter:
-                    # Another shard of this unit owns the subtree; its
-                    # outcome covers it (see repro.mc.shared_filter).
+                    # Another shard of this unit completed the subtree;
+                    # no attack hides in it (see repro.mc.shared_filter).
                     visited.add(key)
                     continue
-                vfilter.add(fingerprint)
+                # Inserted only on subtree completion: push the marker
+                # *under* the children so it pops after all of them.
+                stack.append((fingerprint,))
             visited.add(key)
             if root_index != active_root:
                 product.reset(self.roots[root_index].dmem_pair)
@@ -450,7 +485,8 @@ class Explorer:
                 max_depth = depth
             if budget.exhausted(states):
                 stats = SearchStats(
-                    states, transitions, pruned, max_depth, prune_reasons
+                    states, transitions, pruned, max_depth, prune_reasons,
+                    0 if vfilter is None else vfilter.dropped,
                 )
                 return Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
             if snap is not current:
@@ -471,7 +507,8 @@ class Explorer:
                     continue
                 if result.failed:
                     stats = SearchStats(
-                        states, transitions, pruned, max_depth, prune_reasons
+                        states, transitions, pruned, max_depth, prune_reasons,
+                        0 if vfilter is None else vfilter.dropped,
                     )
                     cex = Counterexample(
                         root_label=self.roots[root_index].label,
@@ -498,7 +535,10 @@ class Explorer:
                 )
             if not stepped:
                 current = snap  # no choices fired; still at the node
-        stats = SearchStats(states, transitions, pruned, max_depth, prune_reasons)
+        stats = SearchStats(
+            states, transitions, pruned, max_depth, prune_reasons,
+            0 if vfilter is None else vfilter.dropped,
+        )
         return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
 
     # ------------------------------------------------------------------

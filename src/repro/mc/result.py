@@ -56,13 +56,21 @@ class Counterexample:
 
 @dataclass(frozen=True)
 class SearchStats:
-    """Search-effort accounting."""
+    """Search-effort accounting.
+
+    ``filter_dropped`` counts inserts the cross-process
+    :class:`repro.mc.shared_filter.SharedVisitedFilter` dropped because
+    its probe window was full -- i.e. how far the filter degraded to
+    lossy during this search.  Always ``0`` outside ``shared_visited``
+    runs, so it never perturbs the default-mode bit-identity contract.
+    """
 
     states: int = 0
     transitions: int = 0
     pruned: int = 0
     max_depth: int = 0
     prune_reasons: dict = field(default_factory=dict)
+    filter_dropped: int = 0
 
     def combine(self, other: "SearchStats") -> "SearchStats":
         """Accounting for two disjoint parts of one search.
@@ -80,6 +88,7 @@ class SearchStats:
             self.pruned + other.pruned,
             max(self.max_depth, other.max_depth),
             prune_reasons,
+            self.filter_dropped + other.filter_dropped,
         )
 
 

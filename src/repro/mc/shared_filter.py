@@ -6,21 +6,28 @@ shared.  What *can* be shared cheaply is a read-mostly filter of 64-bit
 state fingerprints (:func:`repro.mc.intern.stable_fingerprint`) in a
 ``multiprocessing.shared_memory`` segment: a fixed-capacity open-addressing
 table of machine words, zero meaning "empty".  Shards insert the canonical
-fingerprint of every state they expand and consult the filter before
-expanding a new one; a hit means some shard of the same unit already owns
-that state's subtree.
+fingerprint of a state once its *subtree is fully explored* and consult
+the filter before expanding a new state; a hit means some shard of the
+same unit already finished that state's subtree.
 
-Soundness (verdict kinds, not exact statistics): a shard that skips a
-filtered state relies on the inserting shard's outcome.  If the owner
-fully explored the subtree without an attack, the skip loses nothing; if
-the owner found an attack, its own outcome is ATTACK and decides the unit;
-if the owner timed out mid-subtree, its TIMEOUT outcome (a non-proof)
-decides the unit before any skipping shard's PROVED can.  In every case
-the *merged* unit verdict kind matches what exhaustive exploration would
-conclude -- which is why ``shared_visited`` preserves verdicts while being
-allowed to report fewer explored states.  What is deliberately given up:
-bit-identical SearchStats (skips depend on worker timing) and the 2^-64
-fingerprint-collision residual -- both reasons the mode is opt-in.
+Soundness (verdict kinds, not exact statistics): insertion is
+**post-order** -- a fingerprint enters the filter only when the owning
+shard has explored the whole subtree below the state without finding an
+attack.  A shard whose search ends early (an attack mid-subtree returns
+immediately; a timeout or a per-shard ``max_states`` cap abandons the
+stack) never inserts the incomplete subtrees, so a filter hit always
+means "exhaustively explored, no attack inside" -- *independent of the
+inserting shard's own final outcome*.  Skipping such a state can
+therefore never hide an attack or manufacture a proof, whatever the
+sibling shards go on to report, and the filter stays sound under
+per-shard ``max_states`` caps too.  (Insertion used to happen when a
+state was *popped*, which made a skip lean on the inserting shard's
+outcome surviving into the merge; the post-order discipline removes that
+coupling at the cost of two shards occasionally exploring the same
+subtree concurrently -- dedup now lags subtree completion.)  What is
+deliberately given up: bit-identical SearchStats (skips depend on worker
+timing) and the 2^-64 fingerprint-collision residual -- both reasons the
+mode is opt-in.
 
 Concurrency: writes are benign-racy by design.  Two shards inserting
 concurrently may duplicate a fingerprint (harmless) or, in the worst
@@ -28,7 +35,18 @@ interleaving on exotic hardware, tear a slot into a value that aliases a
 third state -- an event of the same order as a fingerprint collision and
 accepted on the same grounds.  A full table degrades to a lossy filter
 (inserts drop, queries miss): shards then merely re-explore, never
-mis-prove.
+mis-prove.  Each handle counts its dropped inserts (:attr:`dropped`),
+which the explorer surfaces as ``SearchStats.filter_dropped`` so a
+degraded filter is visible in campaign logs instead of silently costing
+re-exploration.
+
+Sizing: :func:`suggest_capacity` turns a unit-level cost model --
+``roots x first-frontier-width ^ depth-bound`` expected states, the
+shape calibrated on the Fig. 2 ROB-8 cell (2 roots x 7-wide frontier x
+depth 6 ~ 235k expected vs 504k measured) -- into a slot count between
+:data:`MIN_CAPACITY` and :data:`MAX_CAPACITY`, targeting a <=50% load
+factor.  The campaign scheduler sizes each unit's filter this way
+instead of always paying the fixed :data:`DEFAULT_CAPACITY` segment.
 """
 
 from __future__ import annotations
@@ -42,6 +60,43 @@ _MAX_PROBES = 32
 #: Default capacity in slots (2 MiB of shared memory).
 DEFAULT_CAPACITY = 1 << 18
 
+#: Cost-model sizing floor (128 KiB): below this the segment costs less
+#: than the bookkeeping to size it.
+MIN_CAPACITY = 1 << 14
+
+#: Cost-model sizing ceiling (32 MiB): a BOOM-scale hunt unit saturates
+#: the model long before this, and one segment exists per in-flight unit.
+MAX_CAPACITY = 1 << 22
+
+
+def suggest_capacity(
+    n_roots: int, frontier_width: int, depth_bound: int
+) -> int:
+    """Slot count for a unit expected to explore ``roots x width^depth``.
+
+    The expected-state model is deliberately coarse -- ``frontier_width``
+    is the unit's first-cycle fan-out (children per state, roughly) and
+    ``depth_bound`` its symbolic-program depth, so ``width ** depth``
+    tracks the path count that dominates explicit-state search.  The
+    capacity targets a <=50% load factor (2 slots per expected state,
+    rounded up to a power of two) and clamps to
+    [:data:`MIN_CAPACITY`, :data:`MAX_CAPACITY`]: undershoot degrades to
+    a lossy filter (counted, sound), overshoot only wastes memory.
+    """
+    n_roots = max(1, n_roots)
+    frontier_width = max(1, frontier_width)
+    depth_bound = max(1, depth_bound)
+    try:
+        expected = n_roots * frontier_width**depth_bound
+    except OverflowError:  # absurd inputs: the ceiling is the answer
+        return MAX_CAPACITY
+    capacity = 1
+    while capacity < 2 * expected:
+        capacity <<= 1
+        if capacity >= MAX_CAPACITY:
+            return MAX_CAPACITY
+    return max(MIN_CAPACITY, capacity)
+
 
 class SharedVisitedFilter:
     """Fixed-capacity shared-memory set of 64-bit state fingerprints.
@@ -53,13 +108,18 @@ class SharedVisitedFilter:
     the modulus or cross-process lookups silently probe the wrong slots.
     """
 
-    __slots__ = ("_shm", "_view", "capacity", "_owner")
+    __slots__ = ("_shm", "_view", "capacity", "_owner", "dropped")
 
     def __init__(self, shm, capacity: int, owner: bool):
         self._shm = shm
         self._view = shm.buf
         self.capacity = capacity
         self._owner = owner
+        #: Inserts dropped by this handle because the probe window was
+        #: full -- the filter's degraded-to-lossy counter, surfaced as
+        #: ``SearchStats.filter_dropped``.  Per-handle (per-process), so
+        #: each shard reports its own degradation.
+        self.dropped = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,6 +181,7 @@ class SharedVisitedFilter:
                 return
             index = (index + 1) % capacity
         # Probe window exhausted: drop (filter stays correct, just lossy).
+        self.dropped += 1
 
     def __contains__(self, fingerprint: int) -> bool:
         fingerprint &= (1 << 64) - 1

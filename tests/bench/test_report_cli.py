@@ -77,3 +77,41 @@ def test_report_cli_rerenders_fig2_and_ablation_from_a_jsonl_log(
     assert "regfile  2:" in out
     assert "Ablation" in out
     assert "attack (insecure SimpleOoO)" in out
+
+
+def test_report_cli_rerenders_the_hunt_narrative_from_a_jsonl_log(
+    capsys, tmp_path
+):
+    """BOOM hunt rounds logged with classified sources re-render through
+    --from-log without re-running the hunt."""
+    from repro.bench import boom_hunt
+    from repro.mc.result import ATTACK, PROVED, Outcome, SearchStats
+
+    path = tmp_path / "hunt.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        log = CampaignLog(handle)
+        log.result(
+            boom_hunt.EXPERIMENT,
+            ("sandboxing", "0"),
+            Outcome(kind=ATTACK, elapsed=1.5, stats=SearchStats(states=10)),
+            extra={"source": "misaligned", "exclusions": []},
+        )
+        log.result(
+            boom_hunt.EXPERIMENT,
+            ("sandboxing", "1"),
+            Outcome(kind=PROVED, elapsed=9.0, stats=SearchStats(states=99)),
+            extra={"source": None, "exclusions": ["misaligned"]},
+        )
+    from repro.campaign.log import read_records
+
+    steps = boom_hunt.steps_from_records(read_records(str(path)))["sandboxing"]
+    assert [s.round_index for s in steps] == [0, 1]
+    assert steps[0].source == "misaligned"
+    assert steps[1].active_exclusions == ("misaligned",)
+    capsys.readouterr()
+    code = report.main(["--from-log", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "BOOM attack enumeration -- sandboxing contract" in out
+    assert "ATTACK via misaligned" in out
+    assert "excluded [misaligned] -> proved" in out

@@ -193,3 +193,91 @@ def test_with_mirrored_roots_swaps_orientation():
     for original, mirror in zip(doubled[::2], doubled[1::2]):
         assert mirror.dmem_pair == (original.dmem_pair[1], original.dmem_pair[0])
         assert mirror.label.endswith("-mirror")
+
+
+# ----------------------------------------------------------------------
+# Post-order insertion and cost-model sizing (the backend-era filter)
+# ----------------------------------------------------------------------
+def _explorer(task, vfilter):
+    from repro.mc.explorer import Explorer
+
+    return Explorer(
+        task.build_product(),
+        task.space,
+        task.build_roots(),
+        task.limits,
+        shared_visited=True,
+        visited_filter=vfilter,
+    )
+
+
+def test_filter_insertion_is_post_order():
+    """A search cut off mid-subtree (per-shard ``max_states`` cap) must
+    insert *nothing*: only completed subtrees are shareable, so skips are
+    independent of the inserting shard's outcome (the soundness note in
+    ``repro.mc.shared_filter``)."""
+    from repro.mc.explorer import SearchLimits
+
+    roots = secret_memory_pairs(PARAMS, "single")[:1]
+    vfilter = SharedVisitedFilter.create(capacity=1 << 14)
+    try:
+        capped = _task(
+            Defense.DELAY_FUTURISTIC,
+            roots,
+            limits=SearchLimits(timeout_s=90, max_states=25),
+        )
+        capped_run = _explorer(capped, vfilter).run()
+        assert capped_run.timed_out
+        # The capped run may insert the few leaf subtrees it *completed*,
+        # but never the root or any other in-progress ancestor -- under
+        # the old pop-order insertion the root went in on the very first
+        # pop and a fresh search would have skipped everything (0 states,
+        # leaning on the capped shard's timeout for soundness).
+        baseline = verify(_task(Defense.DELAY_FUTURISTIC, roots))
+        full_task = _task(Defense.DELAY_FUTURISTIC, roots)
+        first_full = _explorer(full_task, vfilter).run()
+        assert first_full.proved
+        assert first_full.stats.states > 0  # the root was NOT inserted
+        # Only completed subtrees (< the cap's state count) are skippable.
+        assert (
+            first_full.stats.states > baseline.stats.states - capped_run.stats.states
+        )
+        # The *completed* run inserted every subtree post-order, so a
+        # third search skips the root immediately: zero states.
+        second_full = _explorer(full_task, vfilter).run()
+        assert second_full.proved
+        assert second_full.stats.states == 0
+    finally:
+        vfilter.close()
+        vfilter.unlink()
+
+
+def test_filter_dropped_counter_surfaces_in_stats():
+    """An undersized filter degrades to lossy and says so in SearchStats."""
+    roots = _ordered_roots()
+    vfilter = SharedVisitedFilter.create(capacity=8)  # absurdly small
+    try:
+        outcome = _explorer(
+            _task(Defense.DELAY_FUTURISTIC, roots), vfilter
+        ).run()
+        assert outcome.proved  # lossy means re-explore, never mis-prove
+        assert outcome.stats.filter_dropped > 0
+        assert outcome.stats.filter_dropped == vfilter.dropped
+    finally:
+        vfilter.close()
+        vfilter.unlink()
+
+
+def test_suggest_capacity_clamps_and_scales():
+    from repro.mc.shared_filter import (
+        MAX_CAPACITY,
+        MIN_CAPACITY,
+        suggest_capacity,
+    )
+
+    assert suggest_capacity(1, 1, 1) == MIN_CAPACITY  # floor
+    assert suggest_capacity(100, 50, 10) == MAX_CAPACITY  # ceiling
+    mid = suggest_capacity(2, 7, 6)  # the Fig. 2 ROB-8 shape
+    assert MIN_CAPACITY < mid < MAX_CAPACITY
+    assert mid & (mid - 1) == 0  # power of two
+    assert mid >= 2 * 2 * 7**6  # <=50% load at the modeled state count
