@@ -22,6 +22,8 @@ from repro.campaign.backends.base import (
     ShardFailure,
     WorkItem,
     budget_outcome,
+    build_named_backend,
+    collect_results,
     execute_item,
     resolve_workers,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "TOKEN_ENV",
     "WorkItem",
     "budget_outcome",
+    "build_named_backend",
+    "collect_results",
     "execute_item",
     "parse_hostport",
     "resolve_workers",

@@ -103,6 +103,64 @@ def resolve_workers(n_workers: int | None) -> int:
     return n_workers
 
 
+def build_named_backend(name: str, n_workers: int | None = None):
+    """Construct a backend from its CLI name (one place for the zoo).
+
+    ``"socket"`` always raises: a cluster backend needs live connection
+    state, so callers must construct and connect a
+    :class:`repro.campaign.backends.SocketClusterBackend` themselves
+    (the CLIs' ``--backend socket`` does exactly this).
+    """
+    if name == "serial":
+        from repro.campaign.backends.serial import SerialBackend
+
+        return SerialBackend()
+    if name == "process":
+        from repro.campaign.backends.process import ProcessPoolBackend
+
+        return ProcessPoolBackend(resolve_workers(n_workers))
+    if name == "socket":
+        raise ValueError(
+            "backend='socket' needs live connection state: construct "
+            "repro.campaign.backends.SocketClusterBackend(...), connect or "
+            "spawn its workers, and pass the instance (the campaign and "
+            "fuzz CLIs' --backend socket do exactly this)"
+        )
+    raise ValueError(
+        f"unknown backend {name!r}; expected an ExecutionBackend "
+        f"instance or one of {BACKEND_NAMES}"
+    )
+
+
+def collect_results(
+    backend: "ExecutionBackend", tickets: dict[int, int], count: int,
+    label: str = "work item",
+) -> list:
+    """Drain ``as_completed`` for one wave of tickets; results by position.
+
+    The deterministic fan-out pattern fuzz rounds and minimization waves
+    share: ``tickets`` maps ticket -> result position, *every* result is
+    collected (completion order never matters), and a
+    :class:`ShardFailure` raises -- callers of this helper never submit
+    serially-dead work, so a failure is always relevant.
+    """
+    results: list = [None] * count
+    pending = count
+    for ticket, outcome in backend.as_completed():
+        index = tickets.pop(ticket, None)
+        if index is None:
+            continue
+        if isinstance(outcome, ShardFailure):
+            raise RuntimeError(f"{label} failed: {outcome.message}")
+        results[index] = outcome
+        pending -= 1
+        if pending == 0:
+            break
+    if pending:
+        raise RuntimeError(f"backend lost {label} results")
+    return results
+
+
 def _attach_filter(task: "VerificationTask", filter_name: str | None):
     """Attach the unit's shared visited filter inside a worker, if any."""
     if filter_name is None or not task.shared_visited:
@@ -122,18 +180,41 @@ def _attach_filter(task: "VerificationTask", filter_name: str | None):
 class WorkItem:
     """One schedulable shard: everything a worker needs, in one pickle.
 
-    ``entry is None`` means a whole-root shard (verify the single-root
-    ``task`` outright); otherwise the item is a seeded sub-root slice
-    (:meth:`repro.mc.explorer.Explorer.run_seeded` on that entry).
+    Three item kinds share the schedulable-unit contract (a pure
+    function of the pickled fields, so merges are backend-independent):
+
+    - ``task`` with ``entry is None``: a whole-root shard (verify the
+      single-root ``task`` outright);
+    - ``task`` with an ``entry``: a seeded sub-root slice
+      (:meth:`repro.mc.explorer.Explorer.run_seeded` on that entry);
+    - ``fuzz``: a random-testing unit -- a
+      :class:`repro.fuzz.work.FuzzShard` batch or a
+      :class:`repro.fuzz.work.MinimizeProbe` delta-debugging candidate
+      -- whose ``run()`` returns its own result type instead of an
+      :class:`Outcome` (backends pass results through opaquely).
+
     ``filter_name`` optionally names a same-host
     :class:`repro.mc.shared_filter.SharedVisitedFilter` segment; workers
     that cannot reach it (another host, a vanished segment) degrade to
     unshared search.
     """
 
-    task: "VerificationTask"
+    task: "VerificationTask | None" = None
     entry: "FrontierEntry | None" = None
     filter_name: str | None = None
+    fuzz: object | None = None
+
+    @property
+    def limits(self):
+        """The unit's :class:`repro.mc.explorer.SearchLimits`.
+
+        Search shards carry them on the task, fuzz units on the
+        payload; the wire layer's deadline translation reads and
+        rewrites them through here.
+        """
+        if self.task is not None:
+            return self.task.limits
+        return self.fuzz.limits
 
     def run(self) -> Outcome:
         """Execute the shard; every backend funnels through here.
@@ -142,10 +223,12 @@ class WorkItem:
         passed reports the budget timeout without searching at all
         (mirroring the serial path's pre-unit deadline check).
         """
-        task = self.task
-        deadline = task.limits.deadline
+        deadline = self.limits.deadline
         if deadline is not None and time.monotonic() >= deadline:
             return budget_outcome()
+        if self.fuzz is not None:
+            return self.fuzz.run()
+        task = self.task
         visited_filter = _attach_filter(task, self.filter_name)
         try:
             if self.entry is None:

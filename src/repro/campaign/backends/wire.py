@@ -192,6 +192,18 @@ def extract_frames(
 # ----------------------------------------------------------------------
 # Deadline translation
 # ----------------------------------------------------------------------
+def _with_limits(item: WorkItem, limits) -> WorkItem:
+    """The item with its unit's ``SearchLimits`` replaced.
+
+    Search shards carry limits on the verification task, fuzz units on
+    the fuzz payload (both are frozen dataclasses); the deadline
+    translation below rewrites whichever the item has.
+    """
+    if item.task is not None:
+        return replace(item, task=replace(item.task, limits=limits))
+    return replace(item, fuzz=replace(item.fuzz, limits=limits))
+
+
 def pack_task(ticket: int, item: WorkItem) -> tuple[str, dict[str, Any]]:
     """Build a ``task`` frame, translating the absolute deadline.
 
@@ -199,13 +211,11 @@ def pack_task(ticket: int, item: WorkItem) -> tuple[str, dict[str, Any]]:
     the coordinator's host and a remote ``attach`` would at best fail
     and at worst alias an unrelated local segment of the same name.
     """
-    limits = item.task.limits
+    limits = item.limits
     deadline_left = None
     if limits.deadline is not None:
         deadline_left = max(0.0, limits.deadline - time.monotonic())
-        item = replace(
-            item, task=replace(item.task, limits=replace(limits, deadline=None))
-        )
+        item = _with_limits(item, replace(limits, deadline=None))
     if item.filter_name is not None:
         item = replace(item, filter_name=None)
     return "task", {"ticket": ticket, "item": item, "deadline_left": deadline_left}
@@ -216,10 +226,8 @@ def unpack_task(payload: dict[str, Any]) -> tuple[int, WorkItem]:
     item: WorkItem = payload["item"]
     deadline_left = payload.get("deadline_left")
     if deadline_left is not None:
-        limits = replace(
-            item.task.limits, deadline=time.monotonic() + deadline_left
-        )
-        item = replace(item, task=replace(item.task, limits=limits))
+        limits = replace(item.limits, deadline=time.monotonic() + deadline_left)
+        item = _with_limits(item, limits)
     return payload["ticket"], item
 
 

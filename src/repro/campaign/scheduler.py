@@ -38,7 +38,12 @@ reports idle capacity while such a slice is still in flight, the
 scheduler *steals* it: the slice's entry is expanded one more cycle
 in-process (:meth:`repro.mc.explorer.Explorer.expand_entry` -- the
 independence argument recurses again) and its depth-2 children are
-requeued as fresh shards that race the original.  Whichever
+requeued as fresh shards that race the original.  Both the steal
+candidate and the unit submission order come from the same cost model
+the filter sizing uses (roots x first-frontier width ^ depth bound):
+units are planned largest-first, and the stolen slice is the in-flight
+one with the largest predicted remaining subtree (width ^ still-open
+environment slots), not merely the oldest.  Whichever
 representation finishes first wins and the loser is cancelled/discarded;
 both merge to bit-identical outcomes (prelude + children replayed in
 serial LIFO order *is* the original slice), so rebalance never perturbs
@@ -106,10 +111,10 @@ from repro.campaign.backends import (
     BUDGET_NOTE,
     ExecutionBackend,
     ProcessPoolBackend,
-    SerialBackend,
     ShardFailure,
     WorkItem,
     budget_outcome as _budget_outcome,
+    build_named_backend,
     resolve_workers,
 )
 from repro.campaign.log import CampaignLog
@@ -137,13 +142,20 @@ SUBROOT_MODES = ("auto", "always", "never")
 
 @dataclass
 class CampaignTelemetry:
-    """Observability counters for the last sharded campaign.
+    """Observability counters for one campaign run.
 
     Purely diagnostic -- none of these affect results (the bit-identity
     contract is exactly that they cannot).  ``steals`` counts sub-root
     slices re-split by the work-stealing rebalance, ``steal_settled``
     the subset the in-process expansion decided outright, ``steal_won``
     the races the depth-2 re-split finished first.
+
+    Every :class:`CampaignResult` of a run carries the run's telemetry
+    object (one shared instance per campaign) -- that is the supported
+    way to read the counters.  :data:`LAST_TELEMETRY` remains as a
+    process-global convenience alias of the most recent campaign's
+    object; it is re-pointed (never mutated in place) at the start of
+    every ``run_campaign``, so counters can no longer leak across runs.
     """
 
     backend: str = ""
@@ -153,8 +165,9 @@ class CampaignTelemetry:
     steal_won: int = 0
 
 
-#: Telemetry of the most recent sharded campaign in this process
-#: (``n_workers=1`` serial-path runs do not touch it).
+#: Telemetry of the most recent campaign in this process: an alias of
+#: the object every ``CampaignResult.telemetry`` of that run carries.
+#: Reset (re-pointed to a fresh instance) per ``run_campaign`` call.
 LAST_TELEMETRY = CampaignTelemetry()
 
 
@@ -173,11 +186,18 @@ class CampaignUnit:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """One merged unit outcome, labelled like its unit."""
+    """One merged unit outcome, labelled like its unit.
+
+    ``telemetry`` is the campaign's shared
+    :class:`CampaignTelemetry` instance (identical on every result of
+    one run); diagnostic only, excluded from equality-based tests by
+    virtue of comparing outcomes, not results.
+    """
 
     experiment: str
     key: tuple[str, ...]
     outcome: Outcome
+    telemetry: CampaignTelemetry | None = None
 
 
 def _check_picklable(unit: CampaignUnit) -> None:
@@ -406,23 +426,8 @@ def _resolve_backend(
         return None, True, workers
     if isinstance(backend, ExecutionBackend):
         return backend, False, max(1, backend.capacity())
-    if backend == "serial":
-        built = SerialBackend()
-        return built, True, built.capacity()
-    if backend == "process":
-        built = ProcessPoolBackend(resolve_workers(n_workers))
-        return built, True, built.capacity()
-    if backend == "socket":
-        raise ValueError(
-            "backend='socket' needs live connection state: construct "
-            "repro.campaign.backends.SocketClusterBackend(...), connect or "
-            "spawn its workers, and pass the instance (the campaign CLI's "
-            "--backend socket does exactly this)"
-        )
-    raise ValueError(
-        f"unknown backend {backend!r}; expected an ExecutionBackend "
-        f"instance or one of {BACKEND_NAMES}"
-    )
+    built = build_named_backend(backend, n_workers)
+    return built, True, built.capacity()
 
 
 def run_campaign(
@@ -463,6 +468,12 @@ def run_campaign(
         raise ValueError(f"subroot must be one of {SUBROOT_MODES}")
     deadline = None if budget_s is None else time.monotonic() + budget_s
     backend_obj, owned, capacity = _resolve_backend(backend, n_workers)
+    # One telemetry object per campaign, shared by every result of the
+    # run; the process-global alias is re-pointed (not mutated) so a
+    # previous campaign's counters can never bleed into this one.
+    global LAST_TELEMETRY
+    telemetry = CampaignTelemetry(capacity=capacity)
+    LAST_TELEMETRY = telemetry
     if log is not None:
         log.header(experiment, capacity, len(units))
     # Results stream to the log in submission order as units finalize
@@ -470,14 +481,15 @@ def run_campaign(
     # completed prefix for --from-log re-rendering.
     sink = _ResultSink(units, log)
     if backend is None and capacity == 1:
+        telemetry.backend = "serial"
         outcomes = _run_serial(units, deadline, sink)
     else:
         outcomes = _run_sharded(
             units, backend_obj, owned, capacity, deadline, sink, subroot,
-            rebalance,
+            rebalance, telemetry,
         )
     return [
-        CampaignResult(unit.experiment, unit.key, outcome)
+        CampaignResult(unit.experiment, unit.key, outcome, telemetry)
         for unit, outcome in zip(units, outcomes)
     ]
 
@@ -519,11 +531,50 @@ def _frontier_width(task: VerificationTask) -> int:
     )
 
 
-def _filter_capacity(unit: CampaignUnit, n_roots: int) -> int:
+def _cost_model(task: VerificationTask) -> tuple[int, int]:
+    """(frontier width, depth bound) of one unit's cost model.
+
+    Building the core to read ``imem_size`` is the expensive part, so
+    the planner computes this once per unit and threads it through both
+    consumers below.
+    """
+    return _frontier_width(task), task.core_factory().params.imem_size
+
+
+def _filter_capacity(
+    unit: CampaignUnit, n_roots: int, model: tuple[int, int] | None = None
+) -> int:
     """Cost-model filter size: roots x frontier width ^ depth bound."""
-    task = unit.task
-    depth = task.core_factory().params.imem_size
-    return suggest_capacity(n_roots, _frontier_width(task), depth)
+    width, depth = model if model is not None else _cost_model(unit.task)
+    return suggest_capacity(n_roots, width, depth)
+
+
+def _predicted_states(
+    task: VerificationTask, n_roots: int, model: tuple[int, int] | None = None
+) -> int:
+    """Expected-state estimate: roots x frontier width ^ depth bound.
+
+    The same coarse model ``suggest_capacity`` sizes filters with, kept
+    unclamped: it only needs to *order* units (largest first, so the
+    long pole starts before the queue fills with small cells) and to
+    rank steal candidates by predicted remaining subtree size -- both
+    pure scheduling decisions the bit-identity contract is immune to.
+    """
+    width, depth = model if model is not None else _cost_model(task)
+    return max(1, n_roots) * width**depth
+
+
+def _predicted_subtree(width: int, entry) -> int:
+    """Predicted size of a seeded slice's remaining subtree.
+
+    Every still-symbolic instruction slot of the entry's environment
+    can fan out by the space's frontier width once some machine fetches
+    it, so ``width ^ open-slots`` tracks the dominant path count below
+    the slice.  Fully concretized slices predict 1 -- the smallest
+    candidates, correctly: their subtrees are pure state-closure walks.
+    """
+    open_slots = sum(1 for inst in entry.env.imem if inst is None)
+    return width**open_slots
 
 
 def _run_sharded(
@@ -535,12 +586,15 @@ def _run_sharded(
     sink: _ResultSink,
     subroot: str,
     rebalance: bool,
+    telemetry: CampaignTelemetry,
 ) -> list[Outcome]:
     for unit in units:
         _check_picklable(unit)
     states: list[_UnitState] = []
     split: list[bool] = []
+    models: list[tuple[int, int]] = []  # per-unit (width, depth) cost model
     for index, unit in enumerate(units):
+        models.append(_cost_model(unit.task))
         roots = unit.task.build_roots()
         slots = [
             _RootSlot(
@@ -563,9 +617,8 @@ def _run_sharded(
         backend = ProcessPoolBackend(capacity)
         owned = True
     backend.set_deadline(deadline)
-    global LAST_TELEMETRY
-    telemetry = CampaignTelemetry(backend=backend.name, capacity=capacity)
-    LAST_TELEMETRY = telemetry
+    telemetry.backend = backend.name
+    telemetry.capacity = capacity
     #: ticket -> (unit state, root position, sub position, steal index)
     owner: dict[int, tuple[_UnitState, int, int | None, int | None]] = {}
     submitted: dict[int, float] = {}  # ticket -> submit instant
@@ -621,14 +674,30 @@ def _run_sharded(
         return ticket
 
     try:
-        for state in states:
+        # Cost-model dispatch: plan and submit units largest-first (by
+        # the roots x width^depth estimate), so the campaign's long pole
+        # starts executing before the queue fills with small cells.
+        # Results, logs and merges still follow unit *submission list*
+        # order (the sink buffers), and shard outcomes are order-blind
+        # pure functions -- only wall-clock moves.  Ties keep list
+        # order (stable sort), so equal-cost grids behave historically.
+        plan_order = sorted(
+            states,
+            key=lambda s: _predicted_states(
+                s.unit.task, len(s.slots), models[s.index]
+            ),
+            reverse=True,
+        )
+        for state in plan_order:
             if deadline is not None and time.monotonic() >= deadline:
                 state.final = _budget_outcome()
                 sink.offer(state.index, state.final)
                 continue
             if state.unit.task.shared_visited:
                 state.vfilter = backend.make_filter(
-                    _filter_capacity(state.unit, len(state.slots))
+                    _filter_capacity(
+                        state.unit, len(state.slots), models[state.index]
+                    )
                 )
             # Plan and submit in *serial* order (last slot first, the
             # LIFO exploration order): a serially-early root the planner
@@ -794,7 +863,7 @@ def _maybe_steal(
     sink: _ResultSink,
     telemetry: CampaignTelemetry,
 ) -> None:
-    """Re-split the longest-running sub-root slice when capacity idles.
+    """Re-split the predicted-largest sub-root slice when capacity idles.
 
     The candidate is raced, not preempted: its depth-2 children are
     requeued alongside it and whichever representation completes first
@@ -808,7 +877,15 @@ def _maybe_steal(
         # No genuinely idle slots (the backend counts cancelled-but-
         # still-running shards that scheduler bookkeeping cannot see).
         return
+    # Cost-model candidate choice: prefer the slice with the *largest
+    # predicted remaining subtree* (frontier width ^ still-open slots of
+    # its seeded environment) -- the in-flight shard most worth
+    # re-splitting -- over the historical oldest-in-flight heuristic.
+    # Submit age only breaks ties (then ticket, for determinism of the
+    # choice itself; the race result is bit-identical either way).
     candidate = None
+    best = None
+    widths: dict[int, int] = {}
     for ticket, (state, root_pos, sub_pos, steal_idx) in owner.items():
         if steal_idx is not None or sub_pos is None:
             continue  # only whole, un-stolen sub-root slices are targets
@@ -819,12 +896,19 @@ def _maybe_steal(
             continue
         if slot.sub_outcomes[sub_pos] is not None or slot.outcome() is not None:
             continue
+        width = widths.get(state.index)
+        if width is None:
+            width = _frontier_width(state.unit.task)
+            widths[state.index] = width
+        predicted = _predicted_subtree(width, slot.expansion.entries[sub_pos])
         age = submitted.get(ticket, 0.0)
-        if candidate is None or age < candidate[0]:
-            candidate = (age, ticket, state, root_pos, sub_pos)
+        rank = (-predicted, age, ticket)
+        if best is None or rank < best:
+            best = rank
+            candidate = (ticket, state, root_pos, sub_pos)
     if candidate is None:
         return
-    _, ticket, state, root_pos, sub_pos = candidate
+    ticket, state, root_pos, sub_pos = candidate
     slot = state.slots[root_pos]
     entry = slot.expansion.entries[sub_pos]
     task = slot.subtask

@@ -1,0 +1,202 @@
+"""Seeded, weighted program generation biased toward speculation windows.
+
+The generator draws from the *same* instruction universe the model
+checker enumerates (:class:`repro.isa.encoding.EncodingSpace`), so every
+fuzzed program lives inside a declared verification domain -- a leak the
+oracle finds is a counterexample the explorer could in principle have
+found, and operand ranges recorded in EXPERIMENTS.md keep their meaning.
+
+Two biases aim the random walk at the states where secure-speculation
+bugs live:
+
+- **opcode weights** skew slot-by-slot sampling toward branches and
+  loads (speculation sources and transmitters) over ALU filler;
+- **gadget seeding** plants, with probability ``gadget_bias``, the
+  Spectre skeleton -- a conditional branch immediately shadowing a load
+  chain -- at a random position, with all operands still drawn from the
+  space.  Random suffix/prefix slots then perturb it.
+
+Mutation operators (coverage feedback picks the parents) are closed
+over the space as well: replace a slot, re-draw operands within an
+opcode, swap two slots, truncate with ``HALT``, or splice a fresh
+gadget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.encoding import EncodingSpace
+from repro.isa.instruction import HALT, Instruction, Opcode
+from repro.isa.params import MachineParams
+
+#: Default opcode weights: speculation sources (branches) and
+#: transmitters (loads) dominate; HALT keeps some programs short.
+DEFAULT_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (int(Opcode.BRANCH), 3.0),
+    (int(Opcode.LOAD), 3.0),
+    (int(Opcode.LH), 1.5),
+    (int(Opcode.LOADIMM), 1.0),
+    (int(Opcode.ALU), 1.0),
+    (int(Opcode.MUL), 1.0),
+    (int(Opcode.HALT), 0.5),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the weighted program generator (picklable, hashable).
+
+    ``length`` is clamped to the core's instruction-memory size at
+    generation time.  ``gadget_bias`` is the probability that a fresh
+    program is seeded with the branch-shadowed load-chain skeleton
+    before the remaining slots are filled randomly.
+    """
+
+    length: int = 4
+    gadget_bias: float = 0.6
+    opcode_weights: tuple[tuple[int, float], ...] = DEFAULT_WEIGHTS
+
+
+def _grouped_universe(
+    space: EncodingSpace,
+) -> dict[int, tuple[Instruction, ...]]:
+    """The space's instructions bucketed by opcode (deterministic order)."""
+    groups: dict[int, list[Instruction]] = {}
+    for inst in space.instructions():
+        groups.setdefault(int(inst.op), []).append(inst)
+    return {op: tuple(insts) for op, insts in groups.items()}
+
+
+class ProgramSampler:
+    """Draws programs and mutations from one (space, params, config).
+
+    Stateless between calls apart from the precomputed universe tables;
+    all randomness comes from the ``random.Random`` handed to each call,
+    so callers own determinism by owning the seed.
+    """
+
+    def __init__(
+        self,
+        space: EncodingSpace,
+        params: MachineParams,
+        config: GeneratorConfig,
+    ):
+        self.space = space
+        self.params = params
+        self.config = config
+        self.length = max(1, min(config.length, params.imem_size))
+        self.groups = _grouped_universe(space)
+        # Weighted opcode table restricted to opcodes the space contains.
+        self.weighted = [
+            (op, weight)
+            for op, weight in config.opcode_weights
+            if op in self.groups and weight > 0.0
+        ]
+        self.total_weight = sum(w for _, w in self.weighted)
+        self.universe = space.instructions()
+
+    # ------------------------------------------------------------------
+    # Fresh programs
+    # ------------------------------------------------------------------
+    def _draw(self, rng: random.Random) -> Instruction:
+        """One weighted-opcode instruction draw."""
+        if not self.weighted:
+            return HALT
+        point = rng.random() * self.total_weight
+        for op, weight in self.weighted:
+            point -= weight
+            if point < 0.0:
+                group = self.groups[op]
+                return group[rng.randrange(len(group))]
+        group = self.groups[self.weighted[-1][0]]
+        return group[rng.randrange(len(group))]
+
+    def _gadget(self, rng: random.Random) -> list[Instruction]:
+        """A Spectre skeleton: branch shadowing a (dependent) load chain.
+
+        Operands come from the space's own ranges, so the skeleton is a
+        bias, not an answer key: whether the sampled offsets/registers
+        actually chain into a transmitting gadget is up to the draw.
+        """
+        branches = self.groups.get(int(Opcode.BRANCH), ())
+        loads = self.groups.get(int(Opcode.LOAD), ()) + self.groups.get(
+            int(Opcode.LH), ()
+        )
+        if not branches or not loads:
+            return [self._draw(rng) for _ in range(self.length)]
+        gadget = [branches[rng.randrange(len(branches))]]
+        for _ in range(min(2, self.length - 1)):
+            gadget.append(loads[rng.randrange(len(loads))])
+        return gadget
+
+    def fresh(self, rng: random.Random) -> tuple[Instruction, ...]:
+        """Draw one program (gadget-seeded with ``gadget_bias``)."""
+        body: list[Instruction] = []
+        if rng.random() < self.config.gadget_bias:
+            body = self._gadget(rng)
+        while len(body) < self.length:
+            body.append(self._draw(rng))
+        del body[self.length :]
+        return tuple(body)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def mutate(
+        self, parent: tuple[Instruction, ...], rng: random.Random
+    ) -> tuple[Instruction, ...]:
+        """One mutation of a corpus parent (always returns a program).
+
+        Operators, equally likely: replace a slot with a fresh weighted
+        draw; re-draw a slot's operands within its opcode; swap two
+        slots; truncate a slot to ``HALT``; splice a fresh gadget over a
+        random prefix position.
+        """
+        body = list(parent[: self.length])
+        while len(body) < self.length:
+            body.append(HALT)
+        op = rng.randrange(5)
+        slot = rng.randrange(len(body))
+        if op == 0:
+            body[slot] = self._draw(rng)
+        elif op == 1:
+            group = self.groups.get(int(body[slot].op), ())
+            if group:
+                body[slot] = group[rng.randrange(len(group))]
+            else:
+                body[slot] = self._draw(rng)
+        elif op == 2:
+            other = rng.randrange(len(body))
+            body[slot], body[other] = body[other], body[slot]
+        elif op == 3:
+            body[slot] = HALT
+        else:
+            gadget = self._gadget(rng)
+            start = rng.randrange(len(body))
+            for offset, inst in enumerate(gadget):
+                if start + offset < len(body):
+                    body[start + offset] = inst
+        return tuple(body)
+
+
+def generate_program(
+    space: EncodingSpace,
+    params: MachineParams,
+    config: GeneratorConfig,
+    rng: random.Random,
+) -> tuple[Instruction, ...]:
+    """Convenience wrapper: one fresh program draw."""
+    return ProgramSampler(space, params, config).fresh(rng)
+
+
+def mutate_program(
+    space: EncodingSpace,
+    params: MachineParams,
+    config: GeneratorConfig,
+    parent: tuple[Instruction, ...],
+    rng: random.Random,
+) -> tuple[Instruction, ...]:
+    """Convenience wrapper: one mutation of ``parent``."""
+    return ProgramSampler(space, params, config).mutate(parent, rng)

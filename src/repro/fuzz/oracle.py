@@ -1,0 +1,147 @@
+"""The per-trace oracle: one concrete two-run product execution.
+
+Where the model checker *enumerates* the nondeterminism of Fig. 1(b) --
+symbolic instruction slots, predictor bits, secret pairs -- the fuzzer
+*samples* it: a concrete program, a concrete predictor seed, one secret
+pair.  The execution itself is the unchanged product
+(:class:`repro.core.products.ShadowProduct` by default): both copies
+step cycle by cycle, the contract shadow logic checks the contract
+constraint (assume) and the leakage assertion exactly as in exhaustive
+search.
+
+Soundness (the EXPERIMENTS.md argument, in short): a trace this oracle
+classifies ``leak`` is a deterministic execution of the same product
+transition system the explorer searches, ending in the same assertion
+-- so its environment *is* an ``ATTACK`` counterexample (it replays
+through :mod:`repro.mc.replay`).  ``ok`` and ``invalid`` traces prove
+nothing: random testing inherits the one-sidedness of testing.
+``invalid`` means the contract constraint pruned the input (the two
+runs are not contract-equivalent -- the pair is outside Eq. (1)'s
+quantifier), mirroring the explorer's assume-prune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.shadow import ContractShadowLogic
+from repro.events import FetchBundle
+from repro.fuzz.coverage import cycle_keys
+from repro.fuzz.rand import predictor_bit
+from repro.isa.instruction import HALT, Instruction, Opcode
+from repro.mc.env import Environment
+from repro.mc.result import Counterexample
+
+TRACE_LEAK = "leak"
+TRACE_OK = "ok"
+TRACE_INVALID = "invalid"
+TRACE_HUNG = "hung"
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """One oracle verdict plus the evidence behind it.
+
+    ``coverage`` is the trace's key set (sorted tuple);
+    ``counterexample`` is a replay-complete
+    :class:`repro.mc.result.Counterexample` when the verdict is
+    ``leak`` -- the environment records the program image and exactly
+    the predictor bits the trace consumed.
+    """
+
+    verdict: str
+    cycles: int
+    coverage: tuple[str, ...]
+    reason: str | None = None
+    counterexample: Counterexample | None = None
+
+
+def _environment(
+    program: tuple[Instruction, ...],
+    imem_size: int,
+    used_preds: dict[tuple[int, int], bool],
+) -> Environment:
+    """The explorer-style environment this concrete trace denotes."""
+    imem = tuple(
+        program[pc] if pc < len(program) else HALT for pc in range(imem_size)
+    )
+    return Environment(imem=imem, preds=tuple(sorted(used_preds.items())))
+
+
+def run_trace(
+    product,
+    program: tuple[Instruction, ...],
+    dmem_pair: tuple[tuple[int, ...], tuple[int, ...]],
+    pred_seed: int,
+    *,
+    max_cycles: int = 256,
+    root_label: str = "fuzz",
+) -> TraceResult:
+    """Run one concrete two-run execution through the shadow logic.
+
+    The product is reset to the secret pair, then driven with the same
+    fetch protocol the model checker uses: poll fetch requests, deliver
+    program instructions (``HALT`` outside the image), answer predictor
+    queries from the shared seeded oracle
+    (:func:`repro.fuzz.rand.predictor_bit`).  ``max_cycles`` bounds
+    diverging programs (verdict ``hung``).
+    """
+    product.reset(dmem_pair)
+    n_slots = len(product.machines)
+    imem_size = product.params.imem_size
+    used_preds: dict[tuple[int, int], bool] = {}
+    coverage: list[str] = []
+    branch_op = Opcode.BRANCH
+    shadow = getattr(product, "shadow", None)
+    for cycle in range(max_cycles):
+        bundles: list[FetchBundle | None] = [None] * n_slots
+        for req in product.fetch_requests():
+            pc = req.pc
+            inst = program[pc] if 0 <= pc < len(program) else HALT
+            predicted: bool | None = None
+            if inst.op is branch_op and req.predictor != "none":
+                if req.predictor == "taken":
+                    predicted = True
+                elif req.predictor == "not_taken":
+                    predicted = False
+                else:
+                    key = (pc, req.occurrence)
+                    predicted = used_preds.get(key)
+                    if predicted is None:
+                        predicted = predictor_bit(pred_seed, pc, req.occurrence)
+                        used_preds[key] = predicted
+            bundles[req.slot] = FetchBundle(pc, inst, predicted)
+        result = product.step_cycle(bundles)
+        drain = (
+            shadow is not None
+            and shadow.phase == ContractShadowLogic.PHASE_DRAIN
+        )
+        coverage.extend(cycle_keys(product.last_outputs, drain))
+        if result.failed:
+            env = _environment(program, imem_size, used_preds)
+            cex = Counterexample(
+                root_label=root_label,
+                dmem_pair=dmem_pair,
+                env=env,
+                depth=cycle + 1,
+                reason=result.reason or "leakage",
+            )
+            return TraceResult(
+                TRACE_LEAK,
+                cycle + 1,
+                tuple(sorted(set(coverage))),
+                result.reason or "leakage",
+                cex,
+            )
+        if result.pruned:
+            return TraceResult(
+                TRACE_INVALID,
+                cycle + 1,
+                tuple(sorted(set(coverage))),
+                result.reason,
+            )
+        if product.quiescent():
+            return TraceResult(
+                TRACE_OK, cycle + 1, tuple(sorted(set(coverage)))
+            )
+    return TraceResult(TRACE_HUNG, max_cycles, tuple(sorted(set(coverage))))

@@ -1,0 +1,177 @@
+"""Cost-model dispatch and per-campaign telemetry (scheduler satellites).
+
+Covers the two scheduling-policy changes -- largest-first unit
+submission and predicted-subtree steal candidates -- and the telemetry
+lifecycle fix: counters reset per campaign and ride on
+``CampaignResult`` instead of only a process global.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import scheduler
+from repro.campaign.backends import SerialBackend
+from repro.campaign.registry import core_spec
+from repro.campaign.scheduler import (
+    CampaignUnit,
+    _predicted_states,
+    _predicted_subtree,
+    run_campaign,
+    verify_sharded,
+)
+from repro.core.contracts import sandboxing
+from repro.core.verifier import VerificationTask
+from repro.isa.encoding import EncodingSpace, space_tiny
+from repro.isa.params import MachineParams
+from repro.mc.env import Environment
+from repro.mc.explorer import FrontierEntry, SearchLimits
+from repro.uarch.config import Defense
+
+TINY = EncodingSpace(
+    load_rd=(1, 2),
+    load_rs=(0, 1),
+    load_imm=(0, 3),
+    branch_rs=(0,),
+    branch_off=(2,),
+)
+
+
+def _task(imem_size: int, defense: Defense = Defense.NONE) -> VerificationTask:
+    return VerificationTask(
+        core_factory=core_spec(
+            "simple_ooo",
+            defense=defense,
+            params=MachineParams(imem_size=imem_size),
+        ),
+        contract=sandboxing(),
+        space=TINY,
+        limits=SearchLimits(timeout_s=90),
+    )
+
+
+class _RecordingBackend(SerialBackend):
+    """SerialBackend that records the imem size of every submitted item."""
+
+    def __init__(self):
+        super().__init__()
+        self.submitted_sizes: list[int] = []
+
+    def submit_unit(self, item):
+        self.submitted_sizes.append(
+            item.task.core_factory().params.imem_size
+        )
+        return super().submit_unit(item)
+
+
+# ----------------------------------------------------------------------
+# Largest-first unit submission
+# ----------------------------------------------------------------------
+def test_predicted_states_orders_by_the_cost_model():
+    small, big = _task(2), _task(3)
+    assert _predicted_states(big, 6) > _predicted_states(small, 6)
+    assert _predicted_states(small, 12) > _predicted_states(small, 6)
+
+
+def test_units_are_submitted_largest_first():
+    """The small unit is listed first but the big one's shards must hit
+    the backend first (results still align with the unit list)."""
+    units = [
+        CampaignUnit("t", ("small",), _task(2)),
+        CampaignUnit("t", ("big",), _task(3)),
+    ]
+    backend = _RecordingBackend()
+    results = run_campaign(units, backend=backend, subroot="never")
+    assert [r.key for r in results] == [("small",), ("big",)]
+    assert backend.submitted_sizes, "nothing was submitted"
+    split = backend.submitted_sizes.index(2)
+    assert set(backend.submitted_sizes[:split]) == {3}, (
+        "big-unit shards were not all submitted before the small unit's: "
+        f"{backend.submitted_sizes}"
+    )
+    # And ordering does not perturb outcomes vs the serial reference.
+    serial = run_campaign(units, n_workers=1)
+    for got, want in zip(results, serial):
+        assert got.outcome.kind == want.outcome.kind
+        assert got.outcome.stats == want.outcome.stats
+
+
+def test_equal_cost_units_keep_list_order():
+    units = [
+        CampaignUnit("t", (label,), _task(2)) for label in ("a", "b", "c")
+    ]
+    backend = _RecordingBackend()
+    run_campaign(units, backend=backend, subroot="never")
+    assert backend.submitted_sizes == [2] * len(backend.submitted_sizes)
+
+
+# ----------------------------------------------------------------------
+# Predicted-subtree steal candidates
+# ----------------------------------------------------------------------
+def test_predicted_subtree_ranks_open_environments_higher():
+    open_env = Environment.empty(4)
+    closed_env = open_env.with_slots(
+        {pc: space_tiny().instructions()[1] for pc in range(4)}
+    )
+    wide = FrontierEntry(env=open_env, snap=(), depth=1)
+    narrow = FrontierEntry(env=closed_env, snap=(), depth=1)
+    assert _predicted_subtree(7, wide) == 7**4
+    assert _predicted_subtree(7, narrow) == 1
+    assert _predicted_subtree(7, wide) > _predicted_subtree(7, narrow)
+
+
+def test_rebalance_with_cost_model_stays_bit_identical():
+    """The steal path end-to-end under the new candidate policy."""
+    from repro.bench import fig2
+    from repro.bench.configs import QUICK
+    from repro.core.verifier import verify
+
+    task = fig2.point_task(fig2.PANELS[0], "rob", 4, QUICK)
+    serial = verify(task)
+    sharded = verify_sharded(task, n_workers=4, subroot="always")
+    assert scheduler.LAST_TELEMETRY.steals >= 1
+    assert sharded.kind == serial.kind
+    assert sharded.stats == serial.stats
+    assert sharded.counterexample == serial.counterexample
+
+
+# ----------------------------------------------------------------------
+# Telemetry lifecycle
+# ----------------------------------------------------------------------
+def test_results_carry_the_campaign_telemetry():
+    units = [CampaignUnit("t", ("a",), _task(2))]
+    results = run_campaign(units, backend="serial")
+    assert results[0].telemetry is not None
+    assert results[0].telemetry.backend == "serial"
+    assert results[0].telemetry is scheduler.LAST_TELEMETRY
+
+
+def test_telemetry_resets_between_campaigns():
+    """A steal-heavy campaign must not leak counters into the next."""
+    from repro.bench import fig2
+    from repro.bench.configs import QUICK
+
+    task = fig2.point_task(fig2.PANELS[0], "rob", 4, QUICK)
+    verify_sharded(task, n_workers=4, subroot="always")
+    assert scheduler.LAST_TELEMETRY.steals >= 1
+    units = [CampaignUnit("t", ("a",), _task(2))]
+    results = run_campaign(units, backend="serial")
+    assert scheduler.LAST_TELEMETRY.steals == 0
+    assert results[0].telemetry.steals == 0
+
+
+def test_serial_path_resets_telemetry_too():
+    """Even the n_workers=1 historical path re-points the global."""
+    stale = scheduler.LAST_TELEMETRY
+    units = [CampaignUnit("t", ("a",), _task(2))]
+    results = run_campaign(units, n_workers=1)
+    assert scheduler.LAST_TELEMETRY is not stale
+    assert scheduler.LAST_TELEMETRY.backend == "serial"
+    assert results[0].telemetry is scheduler.LAST_TELEMETRY
+
+
+def test_shared_telemetry_instance_across_results():
+    units = [
+        CampaignUnit("t", ("a",), _task(2)),
+        CampaignUnit("t", ("b",), _task(2)),
+    ]
+    results = run_campaign(units, backend="serial")
+    assert results[0].telemetry is results[1].telemetry

@@ -1,0 +1,186 @@
+"""Wire-protocol edge cases: framing under truncation, size attacks and
+control frames interleaving with large partial sends."""
+
+from __future__ import annotations
+
+import socket as socketlib
+import struct
+import threading
+
+import pytest
+
+from repro.campaign.backends import WorkItem
+from repro.campaign.backends.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    extract_frames,
+    recv_frame,
+    send_frame,
+    unpack_task,
+    _send_all,
+)
+from repro.fuzz.configs import preset_config
+from repro.fuzz.work import FuzzShard
+
+
+def _frame_bytes(kind: str, payload: dict) -> bytes:
+    """One encoded frame, captured via send_frame."""
+
+    class _Capture:
+        def __init__(self):
+            self.sent = b""
+
+        def send(self, view):
+            self.sent += bytes(view)
+            return len(view)
+
+    wire = _Capture()
+    send_frame(wire, kind, payload)
+    return wire.sent
+
+
+def _task_frame_bytes(ticket: int = 1) -> bytes:
+    """A realistic (pickle) task frame carrying a fuzz shard."""
+    from repro.campaign.backends.wire import pack_task
+
+    shard = FuzzShard(
+        config=preset_config("fuzz-mini").config,
+        round_index=0,
+        batch_index=0,
+        n_programs=1,
+    )
+    kind, payload = pack_task(ticket, WorkItem(fuzz=shard))
+    return _frame_bytes(kind, payload)
+
+
+# ----------------------------------------------------------------------
+# Truncated length prefixes
+# ----------------------------------------------------------------------
+def test_truncated_length_prefix_waits_for_more_bytes():
+    """A buffer shorter than the 8-byte header yields nothing and is
+    left untouched (the reader must not consume partial prefixes)."""
+    buffer = bytearray(b"\x00\x00\x00")
+    assert extract_frames(buffer) == []
+    assert bytes(buffer) == b"\x00\x00\x00"
+
+
+def test_truncated_body_after_full_prefix_is_not_consumed():
+    whole = _frame_bytes("heartbeat", {"pid": 1})
+    buffer = bytearray(whole[:-2])
+    assert extract_frames(buffer) == []
+    assert bytes(buffer) == whole[:-2]
+    buffer.extend(whole[-2:])
+    [(kind, payload)] = extract_frames(buffer)
+    assert kind == "heartbeat" and payload == {"pid": 1}
+    assert not buffer
+
+
+def test_connection_closed_mid_header_raises_wire_error():
+    left, right = socketlib.socketpair()
+    try:
+        left.sendall(b"\x00\x00\x00\x00")  # half a length prefix
+        left.close()
+        with pytest.raises(WireError, match="closed mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# Oversized frames
+# ----------------------------------------------------------------------
+def test_oversized_frame_is_rejected_by_the_buffered_reader():
+    """A corrupt/hostile length prefix must be refused before any
+    allocation, even though the body never arrives."""
+    buffer = bytearray(struct.pack(">Q", MAX_FRAME_BYTES + 1))
+    with pytest.raises(WireError, match="exceeds protocol maximum"):
+        extract_frames(buffer)
+
+
+def test_oversized_frame_is_rejected_by_the_blocking_reader():
+    left, right = socketlib.socketpair()
+    try:
+        left.sendall(struct.pack(">Q", MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(WireError, match="exceeds protocol maximum"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# Heartbeat arriving mid-partial-send
+# ----------------------------------------------------------------------
+def test_heartbeat_interleaves_with_a_partial_task_frame():
+    """Byte-stream form: a complete heartbeat followed by a *partial*
+    task frame pops the heartbeat and leaves the partial intact; the
+    completed task frame then decodes to a runnable item."""
+    heartbeat = _frame_bytes("heartbeat", {"pid": 7})
+    task = _task_frame_bytes(ticket=9)
+    split = len(task) // 2
+    buffer = bytearray(heartbeat + task[:split])
+    frames = extract_frames(buffer)
+    assert [kind for kind, _ in frames] == ["heartbeat"]
+    assert bytes(buffer) == task[:split]
+    buffer.extend(task[split:])
+    [(kind, payload)] = extract_frames(buffer)
+    assert kind == "task"
+    ticket, item = unpack_task(payload)
+    assert ticket == 9
+    assert item.fuzz is not None and item.fuzz.n_programs == 1
+
+
+def test_heartbeat_crosses_while_a_large_send_is_stalled():
+    """Socket form: while one side's big task frame is stalled on a full
+    send buffer, the peer's heartbeat still flows the other way --
+    full-duplex control traffic never deadlocks behind a partial send."""
+    left, right = socketlib.socketpair()
+    left.setblocking(False)
+    try:
+        left.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_SNDBUF, 4096)
+        right.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_RCVBUF, 4096)
+        big = _frame_bytes("task", {"blob": b"x" * 512 * 1024})
+        done = threading.Event()
+        error: list[Exception] = []
+
+        def _sender():
+            try:
+                _send_all(left, big, timeout=10.0)
+            except Exception as exc:  # pragma: no cover - failure path
+                error.append(exc)
+            finally:
+                done.set()
+
+        sender = threading.Thread(target=_sender, daemon=True)
+        sender.start()
+        # The send is now stalled mid-frame (the buffers are far smaller
+        # than the frame).  A heartbeat still crosses right -> left.
+        send_frame(right, "heartbeat", {"pid": 1})
+        left.settimeout(5)
+        kind, payload = recv_frame(left)
+        assert kind == "heartbeat" and payload["pid"] == 1
+        # Drain the big frame on the right; the stalled send completes.
+        right.settimeout(10)
+        kind, payload = recv_frame(right)
+        assert kind == "task" and payload["blob"] == b"x" * 512 * 1024
+        assert done.wait(10), "sender never finished"
+        assert not error, error
+        sender.join(5)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_send_stall_times_out_as_wire_error():
+    """A peer that never drains kills the connection with a WireError
+    instead of blocking the coordinator forever."""
+    left, right = socketlib.socketpair()
+    left.setblocking(False)
+    try:
+        left.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_SNDBUF, 4096)
+        big = b"y" * 4 * 1024 * 1024
+        with pytest.raises(WireError, match="stalled"):
+            _send_all(left, big, timeout=0.3)
+    finally:
+        left.close()
+        right.close()
