@@ -77,6 +77,7 @@ def test_campaign_scaling_table2_grid(scale):
         "scale": scale.name,
         "cpu_count": os.cpu_count(),
         "n_workers": N_WORKERS,
+        "oversubscribed": N_WORKERS > (os.cpu_count() or 1),
         "n_units": len(units),
         "n_shards": sum(len(u.task.build_roots()) for u in units),
         "serial_s": round(serial_s, 3),
@@ -125,6 +126,7 @@ def test_subroot_sharding_dominant_rob_cell(scale):
         "scale": scale.name,
         "cpu_count": os.cpu_count(),
         "n_workers": N_WORKERS,
+        "oversubscribed": N_WORKERS > (os.cpu_count() or 1),
         "panel": panel.key,
         "rob_size": size,
         "n_roots": n_roots,
@@ -241,6 +243,7 @@ def test_socket_backend_dominant_rob_cell(scale):
         "scale": scale.name,
         "cpu_count": os.cpu_count(),
         "n_workers": 2,
+        "oversubscribed": 2 > (os.cpu_count() or 1),
         "panel": panel.key,
         "rob_size": size,
         "kind": serial.kind,

@@ -49,7 +49,8 @@ else:
 
 
 def _measure(engine_cls, task):
-    """One timed serial run; returns (outcome, elapsed, visited footprint)."""
+    """One timed serial run; returns (outcome, elapsed, visited footprint,
+    resolved engine mode)."""
     explorer = engine_cls(
         task.build_product(), task.space, task.build_roots(), task.limits
     )
@@ -57,18 +58,20 @@ def _measure(engine_cls, task):
     outcome = explorer.run()
     elapsed = time.monotonic() - started
     keys, visited_bytes = explorer.visited_footprint()
-    return outcome, elapsed, keys, visited_bytes
+    return outcome, elapsed, keys, visited_bytes, getattr(
+        explorer, "engine", "object"
+    )
 
 
 @pytest.mark.parametrize("rob_size", ROB_SIZES)
 def test_explorer_throughput_fig2_rob_cell(scale, rob_size):
     task = fig2.point_task(fig2.PANELS[0], "rob", rob_size, scale)
 
-    legacy_outcome, legacy_s, legacy_keys, legacy_bytes = _measure(
+    legacy_outcome, legacy_s, legacy_keys, legacy_bytes, _ = _measure(
         LegacyExplorer, task
     )
-    engine_outcome, engine_s, engine_keys, engine_bytes = _measure(
-        Explorer, task
+    engine_outcome, engine_s, engine_keys, engine_bytes, engine_mode = (
+        _measure(Explorer, task)
     )
 
     # The equivalence contract, re-asserted where the ratio is measured.
@@ -86,6 +89,7 @@ def test_explorer_throughput_fig2_rob_cell(scale, rob_size):
         "cell": {"panel": fig2.PANELS[0].key, "structure": "rob", "size": rob_size},
         "kind": engine_outcome.kind,
         "states": states,
+        "engine_mode": engine_mode,
         "legacy": {
             "elapsed_s": round(legacy_s, 3),
             "states_per_s": round(states / legacy_s, 1),
@@ -105,7 +109,8 @@ def test_explorer_throughput_fig2_rob_cell(scale, rob_size):
     print()
     print(
         f"explorer throughput (ROB-{rob_size}): legacy "
-        f"{record['legacy']['states_per_s']:.0f} st/s vs engine "
+        f"{record['legacy']['states_per_s']:.0f} st/s vs "
+        f"{engine_mode} engine "
         f"{record['engine']['states_per_s']:.0f} st/s -> {speedup:.2f}x, "
         f"visited {legacy_bytes >> 10}KiB -> {engine_bytes >> 10}KiB "
         f"-> {BENCH_RECORD.name}"

@@ -30,6 +30,13 @@ from repro.campaign.backends.base import (
 from repro.campaign.backends.cluster import SocketClusterBackend
 from repro.campaign.backends.process import ProcessPoolBackend
 from repro.campaign.backends.serial import SerialBackend
+from repro.campaign.backends.specs import (
+    ShardEnvelope,
+    SpecMiss,
+    execute_envelope,
+    make_envelope,
+    split_spec,
+)
 from repro.campaign.backends.wire import TOKEN_ENV, parse_hostport
 
 __all__ = [
@@ -38,14 +45,19 @@ __all__ = [
     "ExecutionBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "ShardEnvelope",
     "ShardFailure",
     "SocketClusterBackend",
+    "SpecMiss",
     "TOKEN_ENV",
     "WorkItem",
     "budget_outcome",
     "build_named_backend",
     "collect_results",
+    "execute_envelope",
     "execute_item",
+    "make_envelope",
     "parse_hostport",
     "resolve_workers",
+    "split_spec",
 ]

@@ -183,10 +183,15 @@ class WorkItem:
     Three item kinds share the schedulable-unit contract (a pure
     function of the pickled fields, so merges are backend-independent):
 
-    - ``task`` with ``entry is None``: a whole-root shard (verify the
+    - ``task`` with ``entries is None``: a whole-root shard (verify the
       single-root ``task`` outright);
-    - ``task`` with an ``entry``: a seeded sub-root slice
-      (:meth:`repro.mc.explorer.Explorer.run_seeded` on that entry);
+    - ``task`` with ``entries``: a seeded sub-root *batch* -- a
+      contiguous slice of one root's first-cycle frontier, searched in
+      one :meth:`repro.mc.explorer.Explorer.run_seeded` call.  Because
+      seeded entries are explored LIFO exactly like the serial engine
+      explores a root's children, a batch outcome equals the serial
+      merge of its entries' single-entry outcomes -- batching moves
+      dispatch overhead, never results;
     - ``fuzz``: a random-testing unit -- a
       :class:`repro.fuzz.work.FuzzShard` batch or a
       :class:`repro.fuzz.work.MinimizeProbe` delta-debugging candidate
@@ -197,12 +202,20 @@ class WorkItem:
     :class:`repro.mc.shared_filter.SharedVisitedFilter` segment; workers
     that cannot reach it (another host, a vanished segment) degrade to
     unshared search.
+
+    ``spec_fp`` optionally carries the content fingerprint of the
+    task's *spec* (the task stripped of roots and limits -- the heavy,
+    per-unit-constant part).  Backends that keep workers hot use it to
+    ship the spec once per worker and reference it by fingerprint
+    thereafter (see :mod:`repro.campaign.backends.specs`); backends
+    that do not simply ignore it.
     """
 
     task: "VerificationTask | None" = None
-    entry: "FrontierEntry | None" = None
+    entries: "tuple[FrontierEntry, ...] | None" = None
     filter_name: str | None = None
     fuzz: object | None = None
+    spec_fp: int | None = None
 
     @property
     def limits(self):
@@ -231,7 +244,7 @@ class WorkItem:
         task = self.task
         visited_filter = _attach_filter(task, self.filter_name)
         try:
-            if self.entry is None:
+            if self.entries is None:
                 from repro.core.verifier import verify
 
                 return verify(task, visited_filter=visited_filter)
@@ -245,7 +258,7 @@ class WorkItem:
                 shared_visited=task.shared_visited,
                 visited_filter=visited_filter,
             )
-            return explorer.run_seeded([self.entry])
+            return explorer.run_seeded(list(self.entries))
         finally:
             if visited_filter is not None:
                 visited_filter.close()

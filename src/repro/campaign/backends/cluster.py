@@ -51,6 +51,7 @@ from repro.campaign.backends.base import (
     WorkItem,
     budget_outcome,
 )
+from repro.campaign.backends.specs import make_envelope
 from repro.campaign.backends.wire import (
     TOKEN_ENV,
     WireError,
@@ -82,6 +83,11 @@ class _WorkerConn:
         self.inflight: set[int] = set()
         self.buffer = bytearray()
         self.last_seen = time.monotonic()
+        #: Spec fingerprints this agent has been shipped inline; later
+        #: shards of the same unit cross as bare fingerprints (the agent
+        #: caches specs and warms its own pool children).  Dies with the
+        #: connection, so a replacement worker is re-shipped naturally.
+        self.seen_specs: set[int] = set()
 
     def fileno(self) -> int:
         return self.sock.fileno()
@@ -404,12 +410,18 @@ class SocketClusterBackend(ExecutionBackend):
                 continue  # dropped while dispatching to an earlier worker
             while self._queue and conn.free_slots() > 0:
                 ticket = self._queue.popleft()
+                item = self._items[ticket]
+                fp = item.spec_fp
+                with_spec = fp is not None and fp not in conn.seen_specs
+                env = make_envelope(item, with_spec=with_spec)
                 try:
-                    send_frame(conn.sock, *pack_task(ticket, self._items[ticket]))
+                    send_frame(conn.sock, *pack_task(ticket, env))
                 except WireError:
                     self._queue.appendleft(ticket)
                     self._drop_worker(conn)
                     break
+                if with_spec:
+                    conn.seen_specs.add(fp)
                 conn.inflight.add(ticket)
                 self._assigned[ticket] = conn
 

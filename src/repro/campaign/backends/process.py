@@ -5,19 +5,36 @@ scheduler: shards pickle into worker processes, results stream back as
 futures complete, and ``shared_visited`` units get a same-host
 shared-memory visited filter (the one backend capability sockets cannot
 offer -- see :meth:`make_filter`).
+
+Hot-worker dispatch: items stamped with a ``spec_fp`` cross the pool as
+:class:`repro.campaign.backends.specs.ShardEnvelope` values -- the spec
+(the heavy, per-unit-constant task fields) ships inline only for the
+first ``max_workers`` sends per fingerprint, enough to warm every pool
+child in the common case; later sends carry the bare fingerprint.  The
+pool does not route tasks to specific children, so a cold child can
+still draw a bare-fingerprint shard: it answers
+:class:`~repro.campaign.backends.specs.SpecMiss` and the shard is
+resubmitted under the same ticket with the spec attached (counted in
+``spec_misses``; one extra round-trip, no result ever lost).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import replace
 from typing import Iterator
 
 from repro.campaign.backends.base import (
     ExecutionBackend,
     ShardFailure,
     WorkItem,
-    execute_item,
     resolve_workers,
+)
+from repro.campaign.backends.specs import (
+    ShardEnvelope,
+    SpecMiss,
+    execute_envelope,
+    make_envelope,
 )
 from repro.mc.result import Outcome
 
@@ -31,8 +48,13 @@ class ProcessPoolBackend(ExecutionBackend):
         self._max_workers = resolve_workers(max_workers)
         self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         self._futures: dict[int, Future] = {}
+        self._envelopes: dict[int, ShardEnvelope] = {}
+        self._specs: dict = {}  # fingerprint -> spec (for miss retries)
+        self._spec_sent: dict[int, int] = {}  # fingerprint -> inline sends
         self._next_ticket = 0
         self._deadline: float | None = None
+        #: Observability: bare-fingerprint shards a cold child bounced.
+        self.spec_misses = 0
 
     def capacity(self) -> int:
         return self._max_workers
@@ -42,10 +64,24 @@ class ProcessPoolBackend(ExecutionBackend):
         # pool slot until they finish, idle capacity must not count them.
         return len(self._futures)
 
+    def _wrap(self, item: WorkItem) -> ShardEnvelope:
+        fp = item.spec_fp
+        if fp is None or item.task is None:
+            return make_envelope(item, with_spec=False)
+        sent = self._spec_sent.get(fp, 0)
+        with_spec = sent < self._max_workers
+        env = make_envelope(item, with_spec=with_spec)
+        if with_spec:
+            self._spec_sent[fp] = sent + 1
+            self._specs.setdefault(fp, env.spec)
+        return env
+
     def submit_unit(self, item: WorkItem) -> int:
         ticket = self._next_ticket
         self._next_ticket += 1
-        self._futures[ticket] = self._pool.submit(execute_item, item)
+        env = self._wrap(item)
+        self._envelopes[ticket] = env
+        self._futures[ticket] = self._pool.submit(execute_envelope, env)
         return ticket
 
     def cancel(self, ticket: int) -> bool:
@@ -54,6 +90,7 @@ class ProcessPoolBackend(ExecutionBackend):
             return True  # already yielded or cancelled: nothing to do
         if future.cancel():
             del self._futures[ticket]
+            self._envelopes.pop(ticket, None)
             return True
         return False  # already running; its (stale) result will arrive
 
@@ -65,6 +102,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 ticket = by_future[future]
                 # A future cancelled between ``wait`` and here never ran.
                 if self._futures.pop(ticket, None) is None or future.cancelled():
+                    self._envelopes.pop(ticket, None)
                     continue
                 try:
                     outcome = future.result()
@@ -73,6 +111,20 @@ class ProcessPoolBackend(ExecutionBackend):
                     # a raising serially-dead shard must not abort runs
                     # the serial engine would have completed.
                     outcome = ShardFailure(repr(exc))
+                if isinstance(outcome, SpecMiss):
+                    # A cold child drew a bare-fingerprint shard: retry
+                    # the same ticket with the spec attached.
+                    self.spec_misses += 1
+                    env = replace(
+                        self._envelopes[ticket],
+                        spec=self._specs[outcome.spec_fp],
+                    )
+                    self._envelopes[ticket] = env
+                    self._futures[ticket] = self._pool.submit(
+                        execute_envelope, env
+                    )
+                    continue
+                self._envelopes.pop(ticket, None)
                 yield ticket, outcome
 
     def make_filter(self, capacity: int):

@@ -1,0 +1,165 @@
+"""Content-addressed task specs: ship the heavy part of a shard once.
+
+Every search shard of one campaign unit pickles the same
+:class:`repro.core.verifier.VerificationTask` minus two small fields:
+the root list (which root this shard covers) and the search limits
+(deadline-stamped per campaign).  The encoding space, core spec and
+contract -- the *spec* -- dominate the pickle, and re-shipping them per
+shard is pure dispatch overhead once a worker is warm.
+
+The hot-worker protocol built here splits the task
+(:func:`split_spec`), fingerprints the spec with
+:func:`spec_fingerprint` (content-addressed: equal specs collapse to
+one cache entry no matter which unit produced them),
+and wraps shards in a :class:`ShardEnvelope` that carries the spec
+inline on a worker's *first* encounter and the bare fingerprint
+thereafter.  Executors keep a per-process cache
+(:func:`execute_envelope`); a cold process receiving a bare fingerprint
+answers :class:`SpecMiss` and the dispatching side re-sends with the
+spec attached -- a one-round-trip degradation, never an error.
+
+Soundness: the fingerprint is only a *cache key*; the spec bytes a
+worker rehydrates with were pickled from the same task object the
+scheduler planned, so ``join_spec(spec, roots, limits)`` rebuilds a
+field-identical task and shard outcomes stay pure functions of their
+items (the campaign bit-identity contract is untouched).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, replace
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Any
+
+from repro.campaign.backends.base import WorkItem
+
+if TYPE_CHECKING:
+    from repro.core.verifier import VerificationTask
+
+
+def spec_fingerprint(spec) -> int:
+    """128-bit content fingerprint of a spec (cache key, never truth).
+
+    Wider than :func:`repro.mc.intern.stable_fingerprint`'s 64 bits
+    because a collision here would rehydrate a shard against the *wrong
+    unit's* spec -- silently wrong results, not just a pruned state --
+    so the margin is pushed to 2^-128.
+    """
+    digest = blake2b(pickle.dumps(spec, protocol=4), digest_size=16).digest()
+    return int.from_bytes(digest, "little")
+
+
+class SpecMiss:
+    """A worker process lacked the spec a bare-fingerprint shard named.
+
+    Delivered in place of an outcome; the dispatching side re-sends the
+    same ticket with the spec attached.  Picklable (crosses pools and
+    sockets like any result).
+    """
+
+    __slots__ = ("spec_fp",)
+
+    def __init__(self, spec_fp: int):
+        self.spec_fp = spec_fp
+
+    def __repr__(self) -> str:
+        return f"SpecMiss({self.spec_fp:#x})"
+
+
+def split_spec(task: "VerificationTask"):
+    """Split a task into (spec, roots, limits).
+
+    The spec normalizes ``roots`` to ``None`` and ``limits`` to the
+    default, so every shard of one unit -- whole-root, seeded batch or
+    steal racer, whatever deadline was stamped -- shares one spec (and
+    one fingerprint).
+    """
+    from repro.mc.explorer import SearchLimits
+
+    spec = replace(task, roots=None, limits=SearchLimits())
+    return spec, task.roots, task.limits
+
+
+def join_spec(spec: "VerificationTask", roots, limits) -> "VerificationTask":
+    """Rebuild the exact task :func:`split_spec` took apart."""
+    return replace(spec, roots=roots, limits=limits)
+
+
+@dataclass(frozen=True)
+class ShardEnvelope:
+    """What actually crosses a pool or socket boundary per shard.
+
+    Plain envelopes (``spec_fp is None``) carry the item whole -- the
+    fuzz path and backends that opt out of spec caching.  Spec-backed
+    envelopes strip ``item.task`` to ``None`` and carry the split parts:
+    ``spec`` inline on a cold send, ``None`` once the receiver is warm.
+    """
+
+    item: WorkItem
+    spec_fp: int | None = None
+    spec: "VerificationTask | None" = None
+    roots: Any = None
+    limits: Any = None
+
+    def unit_limits(self):
+        """The shard's ``SearchLimits`` (wire deadline translation)."""
+        if self.spec_fp is not None:
+            return self.limits
+        return self.item.limits
+
+    def with_limits(self, limits) -> "ShardEnvelope":
+        """The envelope with its unit's limits replaced (same shape)."""
+        if self.spec_fp is not None:
+            return replace(self, limits=limits)
+        item = self.item
+        if item.task is not None:
+            item = replace(item, task=replace(item.task, limits=limits))
+        else:
+            item = replace(item, fuzz=replace(item.fuzz, limits=limits))
+        return replace(self, item=item)
+
+
+def make_envelope(item: WorkItem, *, with_spec: bool) -> ShardEnvelope:
+    """Wrap one item for dispatch.
+
+    Items without a ``spec_fp`` (or without a task at all) wrap as plain
+    envelopes; spec-backed items are split, shipping the spec inline iff
+    ``with_spec`` (the receiver has not seen this fingerprint yet).
+    """
+    if item.spec_fp is None or item.task is None:
+        return ShardEnvelope(item=item)
+    spec, roots, limits = split_spec(item.task)
+    return ShardEnvelope(
+        item=replace(item, task=None),
+        spec_fp=item.spec_fp,
+        spec=spec if with_spec else None,
+        roots=roots,
+        limits=limits,
+    )
+
+
+#: Per-process spec cache: fingerprint -> spec task.  Lives in whatever
+#: process runs :func:`execute_envelope` (pool children, worker-agent
+#: children); bounded by the number of distinct unit specs a process
+#: ever sees, i.e. small.
+_SPECS: dict[int, "VerificationTask"] = {}
+
+
+def execute_envelope(env: ShardEnvelope):
+    """Rehydrate and run one shard; the pools' pickle-by-reference entry.
+
+    Returns the shard's outcome, or :class:`SpecMiss` when the envelope
+    referenced a fingerprint this process has never been shipped.
+    """
+    item = env.item
+    if env.spec_fp is not None:
+        spec = env.spec
+        if spec is not None:
+            _SPECS.setdefault(env.spec_fp, spec)
+        else:
+            spec = _SPECS.get(env.spec_fp)
+            if spec is None:
+                return SpecMiss(env.spec_fp)
+        item = replace(item, task=join_spec(spec, env.roots, env.limits))
+    return item.run()

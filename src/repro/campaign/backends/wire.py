@@ -9,7 +9,11 @@ frame                   direction / meaning
 ======================  =======================================================
 ``hello``               worker -> coordinator: ``{token, slots, label, pid}``
 ``welcome``             coordinator -> worker: authenticated, stay connected
-``task``                coordinator -> worker: ``{ticket, item, deadline_left}``
+``task``                coordinator -> worker: ``{ticket, env, deadline_left}``
+                        -- ``env`` is a
+                        :class:`repro.campaign.backends.specs.ShardEnvelope`
+                        (spec inline on a worker's first sight of a
+                        fingerprint, bare fingerprint thereafter)
 ``result``              worker -> coordinator: ``{ticket, outcome}``
 ``error``               worker -> coordinator: ``{ticket, message}`` -- the
                         shard raised; deterministic, so it is *not* requeued
@@ -49,6 +53,7 @@ from dataclasses import replace
 from typing import Any
 
 from repro.campaign.backends.base import WorkItem
+from repro.campaign.backends.specs import ShardEnvelope
 
 #: Refuse frames beyond this (a corrupt length prefix would otherwise
 #: allocate unbounded memory before pickle even looks at the payload).
@@ -192,43 +197,40 @@ def extract_frames(
 # ----------------------------------------------------------------------
 # Deadline translation
 # ----------------------------------------------------------------------
-def _with_limits(item: WorkItem, limits) -> WorkItem:
-    """The item with its unit's ``SearchLimits`` replaced.
-
-    Search shards carry limits on the verification task, fuzz units on
-    the fuzz payload (both are frozen dataclasses); the deadline
-    translation below rewrites whichever the item has.
-    """
-    if item.task is not None:
-        return replace(item, task=replace(item.task, limits=limits))
-    return replace(item, fuzz=replace(item.fuzz, limits=limits))
-
-
-def pack_task(ticket: int, item: WorkItem) -> tuple[str, dict[str, Any]]:
+def pack_task(
+    ticket: int, work: "WorkItem | ShardEnvelope"
+) -> tuple[str, dict[str, Any]]:
     """Build a ``task`` frame, translating the absolute deadline.
 
-    The shared-memory filter name is stripped too: the segment lives on
-    the coordinator's host and a remote ``attach`` would at best fail
-    and at worst alias an unrelated local segment of the same name.
+    ``work`` may be a bare :class:`WorkItem` (wrapped in a plain
+    :class:`repro.campaign.backends.specs.ShardEnvelope`) or an
+    envelope the dispatcher already built (spec inline or bare
+    fingerprint -- see the specs module).  The shared-memory filter name
+    is stripped too: the segment lives on the coordinator's host and a
+    remote ``attach`` would at best fail and at worst alias an unrelated
+    local segment of the same name.
     """
-    limits = item.limits
+    env = work if isinstance(work, ShardEnvelope) else ShardEnvelope(item=work)
+    limits = env.unit_limits()
     deadline_left = None
-    if limits.deadline is not None:
+    if limits is not None and limits.deadline is not None:
         deadline_left = max(0.0, limits.deadline - time.monotonic())
-        item = _with_limits(item, replace(limits, deadline=None))
-    if item.filter_name is not None:
-        item = replace(item, filter_name=None)
-    return "task", {"ticket": ticket, "item": item, "deadline_left": deadline_left}
+        env = env.with_limits(replace(limits, deadline=None))
+    if env.item.filter_name is not None:
+        env = replace(env, item=replace(env.item, filter_name=None))
+    return "task", {"ticket": ticket, "env": env, "deadline_left": deadline_left}
 
 
-def unpack_task(payload: dict[str, Any]) -> tuple[int, WorkItem]:
+def unpack_task(payload: dict[str, Any]) -> tuple[int, "ShardEnvelope"]:
     """Re-anchor a ``task`` frame's deadline on this host's clock."""
-    item: WorkItem = payload["item"]
+    env: ShardEnvelope = payload["env"]
     deadline_left = payload.get("deadline_left")
     if deadline_left is not None:
-        limits = replace(item.limits, deadline=time.monotonic() + deadline_left)
-        item = _with_limits(item, limits)
-    return payload["ticket"], item
+        limits = replace(
+            env.unit_limits(), deadline=time.monotonic() + deadline_left
+        )
+        env = env.with_limits(limits)
+    return payload["ticket"], env
 
 
 def parse_hostport(text: str, default_port: int = 0) -> tuple[str, int]:

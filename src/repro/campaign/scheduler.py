@@ -29,21 +29,48 @@ permanently, so they can never share a visited state (see
 :class:`repro.mc.explorer.RootExpansion`).  When a unit has fewer roots
 than the backend has capacity (or ``subroot="always"``), the scheduler
 expands each root's first cycle in-process (cheap: one product cycle per
-choice) and dispatches one seeded shard per surviving child
+choice) and dispatches the surviving children as seeded shards
 (:meth:`repro.mc.explorer.Explorer.run_seeded`).
 
+**Batched dispatch.**  One shard per first-cycle child swamps small
+units in per-shard overhead (pickling, process hops, merge bookkeeping):
+the Fig. 2 ROB-4 cell expands into ~72 children whose subtrees each run
+milliseconds.  The scheduler therefore packs *contiguous* runs of
+children into batches sized to a target work grain: per-child subtree
+predictions (the cost model above) are corrected by a process-global
+EWMA calibration (:class:`_Calibration`) that observes every finished
+shard's predicted-vs-measured state count and throughput, yielding a
+grain of roughly :data:`TARGET_BATCH_SECONDS` of measured work per
+shard.  Contiguity is what keeps the determinism contract free:
+``run_seeded`` on a contiguous slice of the expansion's entries replays
+exactly the serial merge of its singletons, so batch boundaries can move
+with calibration without ever touching results.  A floor of two batches
+per backend slot is kept so rebalance still has raceable targets.
+
+**Hot workers.**  Shards of one unit share everything but their seed
+entries and limits; re-pickling the task's spec (space, core, contract)
+per shard is pure dispatch overhead.  Items therefore carry a 128-bit
+content fingerprint of their spec
+(:func:`repro.campaign.backends.specs.spec_fingerprint`); the pool and
+socket backends ship the spec inline only on a receiver's first
+encounter and the bare fingerprint thereafter, and executors rehydrate
+from a per-process cache (a cold process answers ``SpecMiss`` and the
+dispatcher re-sends with the spec attached -- one extra round trip,
+never an error).
+
 **Work-stealing rebalance.**  First-cycle slices are far from even (the
-Fig. 2 ROB-8 cell's 7 shards are dominated by one); when the backend
-reports idle capacity while such a slice is still in flight, the
-scheduler *steals* it: the slice's entry is expanded one more cycle
+Fig. 2 ROB-8 cell's shards are dominated by one); when the backend
+reports idle capacity while such a batch is still in flight, the
+scheduler *steals* it: a multi-entry batch is re-split into one shard
+per entry, and a single-entry batch is expanded one more cycle
 in-process (:meth:`repro.mc.explorer.Explorer.expand_entry` -- the
-independence argument recurses again) and its depth-2 children are
-requeued as fresh shards that race the original.  Both the steal
-candidate and the unit submission order come from the same cost model
-the filter sizing uses (roots x first-frontier width ^ depth bound):
-units are planned largest-first, and the stolen slice is the in-flight
-one with the largest predicted remaining subtree (width ^ still-open
-environment slots), not merely the oldest.  Whichever
+independence argument recurses again) into depth-2 children; either
+way the children are requeued as fresh shards that race the original.
+Both the steal candidate and the unit submission order come from the
+same cost model the filter sizing uses (roots x first-frontier width ^
+depth bound): units are planned largest-first, and the stolen batch is
+the in-flight one with the largest prediction recorded at submit time,
+not merely the oldest.  Whichever
 representation finishes first wins and the loser is cancelled/discarded;
 both merge to bit-identical outcomes (prelude + children replayed in
 serial LIFO order *is* the original slice), so rebalance never perturbs
@@ -101,6 +128,7 @@ start before the deadline are reported as timeouts without running.
 
 from __future__ import annotations
 
+import math
 import pickle
 import time
 from dataclasses import dataclass, replace
@@ -116,7 +144,9 @@ from repro.campaign.backends import (
     budget_outcome as _budget_outcome,
     build_named_backend,
     resolve_workers,
+    split_spec,
 )
+from repro.campaign.backends.specs import spec_fingerprint
 from repro.campaign.log import CampaignLog
 from repro.core.verifier import VerificationTask, verify
 from repro.isa.instruction import Opcode
@@ -163,12 +193,116 @@ class CampaignTelemetry:
     steals: int = 0
     steal_settled: int = 0
     steal_won: int = 0
+    #: Work items actually submitted to the backend (whole roots, seeded
+    #: batches and steal racers) -- the dispatch-overhead denominator
+    #: batching exists to shrink.
+    shards: int = 0
+    #: The states-per-batch grain the batch planner targeted this run
+    #: (calibrated from measured shard runtimes of earlier campaigns in
+    #: this process; the default until anything was measured).
+    grain_states: float = 0.0
 
 
 #: Telemetry of the most recent campaign in this process: an alias of
 #: the object every ``CampaignResult.telemetry`` of that run carries.
 #: Reset (re-pointed to a fresh instance) per ``run_campaign`` call.
 LAST_TELEMETRY = CampaignTelemetry()
+
+#: The wall-clock grain seeded batches aim for: long enough that worker
+#: dispatch (pickling, queueing, result transport) is noise against the
+#: search itself, short enough that the tail of a campaign still
+#: load-balances.
+TARGET_BATCH_SECONDS = 0.5
+
+#: States-per-batch grain assumed before any shard was ever measured.
+DEFAULT_GRAIN_STATES = 20_000
+
+
+class _Calibration:
+    """Measured-runtime feedback into the shard cost model (EWMA).
+
+    ``_predicted_states`` / ``_predicted_subtree`` count *paths*
+    (roots x width^depth) and ignore pruning entirely, so their absolute
+    scale is off by orders of magnitude -- fine for ranking, useless for
+    sizing.  Every completed shard reports (raw predicted, measured
+    states, elapsed); two exponential moving averages turn that into
+
+    - ``correction``: measured-states / predicted-states, making
+      ``corrected()`` an absolute state-count estimate, and
+    - ``states_per_s``: measured throughput, making ``grain_states()``
+      the batch size worth ~:data:`TARGET_BATCH_SECONDS` of work.
+
+    Process-global on purpose: a bench harness (or the Fig. 2 sweep)
+    runs many campaigns back to back, and each plans with the rates the
+    previous ones measured.  Calibration only moves *batch sizing* --
+    pure scheduling -- so the bit-identity contract is untouched.
+    """
+
+    __slots__ = ("correction", "states_per_s", "samples")
+
+    #: EWMA step: new samples move the estimate 30% of the way.
+    ALPHA = 0.3
+
+    def __init__(self):
+        self.correction = 1.0
+        self.states_per_s = 0.0
+        self.samples = 0
+
+    def observe(self, predicted: int, states: int, elapsed: float) -> None:
+        if predicted <= 0 or states <= 0 or elapsed <= 0.0:
+            return
+        ratio = states / predicted
+        rate = states / elapsed
+        if self.samples == 0:
+            self.correction = ratio
+            self.states_per_s = rate
+        else:
+            self.correction += self.ALPHA * (ratio - self.correction)
+            self.states_per_s += self.ALPHA * (rate - self.states_per_s)
+        self.samples += 1
+
+    def corrected(self, predicted: int) -> float:
+        """The raw path-count estimate rescaled to measured states."""
+        return predicted * self.correction
+
+    def grain_states(self) -> float:
+        """Target states per batch (~:data:`TARGET_BATCH_SECONDS`)."""
+        if self.samples == 0:
+            return float(DEFAULT_GRAIN_STATES)
+        return max(1000.0, self.states_per_s * TARGET_BATCH_SECONDS)
+
+
+#: The process-wide calibration state (see :class:`_Calibration`).
+_CALIBRATION = _Calibration()
+
+
+def _plan_batches(weights: Sequence[int], n_batches: int) -> list[tuple[int, int]]:
+    """Partition frontier entries into contiguous weight-balanced batches.
+
+    Returns ``[start, end)`` index ranges covering ``weights`` in order
+    -- contiguity is what keeps a batch's ``run_seeded`` equal to the
+    serial merge of its entries.  Greedy: each batch closes once it
+    reaches the remaining-average weight, while always leaving at least
+    one entry per remaining batch.
+    """
+    count = len(weights)
+    n_batches = max(1, min(n_batches, count))
+    batches: list[tuple[int, int]] = []
+    start = 0
+    remaining = float(sum(weights))
+    for index in range(n_batches):
+        left = n_batches - index  # batches still to emit, incl. this one
+        max_end = count - (left - 1)
+        target = remaining / left
+        end = start + 1
+        acc = weights[start]
+        while end < max_end and acc < target:
+            acc += weights[end]
+            end += 1
+        batches.append((start, end))
+        remaining -= acc
+        start = end
+    return batches
 
 
 @dataclass(frozen=True)
@@ -262,23 +396,34 @@ def _prepend_prelude(expansion: RootExpansion, merged: Outcome) -> Outcome:
 
 
 class _StealGroup:
-    """The depth-2 re-split of one stolen sub-root slice.
+    """The re-split of one stolen shard, racing the original.
 
-    Prelude (the slice's own node and first transitions) plus one
-    outcome per depth-2 child; :meth:`outcome` composes them exactly
-    like a root slot composes its first-cycle children, which is why the
-    group is interchangeable with the original whole-slice shard.
+    Two shapes share the merge discipline:
+
+    - A *batch re-split* (``expansion is None``): a multi-entry seeded
+      batch re-dispatched as one shard per entry.  The entries are the
+      batch's own frontier slice, so the group outcome is their plain
+      serial merge -- no prelude (``run_seeded`` on the batch pays no
+      expansion either).
+    - A *depth-2 re-split* (``expansion`` set): a single-entry slice
+      expanded one more cycle in-process; prelude (the slice's node and
+      first transitions) plus one outcome per depth-2 child, composed
+      exactly like a root slot composes its first-cycle children.
+
+    Either way the composition is bit-identical to the original shard,
+    which is why the race can never change results.
     """
 
-    def __init__(self, expansion: RootExpansion):
+    def __init__(self, expansion: RootExpansion | None, count: int | None = None):
         self.expansion = expansion
-        self.outcomes: list[Outcome | None] = [None] * len(expansion.entries)
+        n = len(expansion.entries) if expansion is not None else count
+        self.outcomes: list[Outcome | None] = [None] * n
         self.tickets: list[int] = []
 
     def outcome(self) -> Outcome | None:
         merged = _merge_serial(self.outcomes)
-        if merged is None:
-            return None
+        if merged is None or self.expansion is None:
+            return merged
         return _prepend_prelude(self.expansion, merged)
 
 
@@ -295,11 +440,15 @@ class _RootSlot:
         self.root = root
         self.subtask = subtask  # single-root, deadline-stamped
         self.expansion: RootExpansion | None = None
+        #: Contiguous ``[start, end)`` slices of ``expansion.entries``,
+        #: one per dispatched batch; ``sub_outcomes`` / ``sub_tickets``
+        #: / ``groups`` are indexed by *batch* position.
+        self.batches: list[tuple[int, int]] = []
         self.sub_outcomes: list[Outcome | None] = []
         self.whole: Outcome | None = None
         self.tickets: list[int] = []  # every ticket under this slot
-        self.sub_tickets: dict[int, int] = {}  # sub position -> ticket
-        self.groups: dict[int, _StealGroup] = {}  # sub position -> steal
+        self.sub_tickets: dict[int, int] = {}  # batch position -> ticket
+        self.groups: dict[int, _StealGroup] = {}  # batch position -> steal
         self.unstealable: set[int] = set()
 
     def plan_subroot(self) -> bool:
@@ -327,8 +476,12 @@ class _RootSlot:
         if not expansion.splittable:
             return False
         self.expansion = expansion
-        self.sub_outcomes = [None] * len(expansion.entries)
         return False
+
+    def plan_batches(self, weights: Sequence[int], n_batches: int) -> None:
+        """Group the expansion's entries into dispatchable batches."""
+        self.batches = _plan_batches(weights, n_batches)
+        self.sub_outcomes = [None] * len(self.batches)
 
     def outcome(self) -> Outcome | None:
         """The root's merged outcome, or ``None`` while shards are pending."""
@@ -362,6 +515,10 @@ class _UnitState:
         self.slots = slots
         self.tickets: list[int] = []  # every ticket under this unit
         self.final: Outcome | None = None
+        #: Content fingerprint of the unit's task spec (the task minus
+        #: roots and limits); stamped on every shard so hot-worker
+        #: backends ship the spec once per worker.
+        self.spec_fp: int | None = None
         # Cross-process visited filter for shared_visited units (one per
         # unit: sharing across units would be unsound -- different tasks).
         self.vfilter = None
@@ -602,7 +759,9 @@ def _run_sharded(
             )
             for root in roots
         ]
-        states.append(_UnitState(index, unit, slots))
+        state = _UnitState(index, unit, slots)
+        state.spec_fp = spec_fingerprint(split_spec(unit.task)[0])
+        states.append(state)
         split.append(
             subroot == "always"
             or (subroot == "auto" and len(roots) < capacity)
@@ -619,14 +778,25 @@ def _run_sharded(
     backend.set_deadline(deadline)
     telemetry.backend = backend.name
     telemetry.capacity = capacity
-    #: ticket -> (unit state, root position, sub position, steal index)
+    # Batch sizing: the calibrated per-batch state grain, plus a
+    # campaign-wide floor keeping total shard count >= ~2x capacity so
+    # small grids still fill every worker (with slack for stragglers).
+    grain = _CALIBRATION.grain_states()
+    telemetry.grain_states = grain
+    n_split_roots = sum(
+        len(state.slots) for state in states if split[state.index]
+    )
+    min_batches = max(1, math.ceil(2 * capacity / max(1, n_split_roots)))
+    #: ticket -> (unit state, root position, batch position, steal index)
     owner: dict[int, tuple[_UnitState, int, int | None, int | None]] = {}
     submitted: dict[int, float] = {}  # ticket -> submit instant
+    predictions: dict[int, int] = {}  # ticket -> raw predicted states
 
     def cancel_ticket(ticket: int) -> None:
         backend.cancel(ticket)
         owner.pop(ticket, None)
         submitted.pop(ticket, None)
+        predictions.pop(ticket, None)
 
     def try_finalize(state: _UnitState) -> bool:
         """Attempt the serial-order merge; cancel obsolete shards."""
@@ -662,10 +832,14 @@ def _run_sharded(
         root_pos: int,
         sub_pos: int | None,
         steal_idx: int | None = None,
+        predicted: int = 0,
     ) -> int:
         ticket = backend.submit_unit(item)
+        telemetry.shards += 1
         owner[ticket] = (state, root_pos, sub_pos, steal_idx)
         submitted[ticket] = time.monotonic()
+        if predicted:
+            predictions[ticket] = predicted
         state.tickets.append(ticket)
         if sub_pos is not None:
             slot.tickets.append(ticket)
@@ -713,18 +887,56 @@ def _run_sharded(
                     submit(
                         state,
                         slot,
-                        WorkItem(slot.subtask, None, state.filter_name),
+                        WorkItem(
+                            slot.subtask,
+                            None,
+                            state.filter_name,
+                            spec_fp=state.spec_fp,
+                        ),
                         root_pos,
                         None,
+                        predicted=_predicted_states(
+                            slot.subtask, 1, models[state.index]
+                        ),
                     )
                 else:
-                    for sub_pos, entry in enumerate(slot.expansion.entries):
+                    # Batched dispatch: pack the first-cycle frontier
+                    # into contiguous weight-balanced batches sized to
+                    # the calibrated grain (floored so the campaign
+                    # still fills every worker) instead of one tiny
+                    # shard per entry.
+                    entries = slot.expansion.entries
+                    width = models[state.index][0]
+                    weights = [
+                        _predicted_subtree(width, entry) for entry in entries
+                    ]
+                    if _CALIBRATION.samples:
+                        wanted = max(
+                            min_batches,
+                            math.ceil(
+                                _CALIBRATION.corrected(sum(weights)) / grain
+                            ),
+                        )
+                    else:
+                        # Uncalibrated: raw path counts overestimate by
+                        # orders of magnitude and would degenerate to
+                        # one shard per entry; pack to the capacity
+                        # floor until a measurement lands.
+                        wanted = min_batches
+                    slot.plan_batches(weights, wanted)
+                    for sub_pos, (start, end) in enumerate(slot.batches):
                         submit(
                             state,
                             slot,
-                            WorkItem(slot.subtask, entry, state.filter_name),
+                            WorkItem(
+                                slot.subtask,
+                                tuple(entries[start:end]),
+                                state.filter_name,
+                                spec_fp=state.spec_fp,
+                            ),
                             root_pos,
                             sub_pos,
+                            predicted=sum(weights[start:end]),
                         )
             # Zero-root tasks and units fully settled while planning
             # (first-cycle attacks, empty frontiers) finalize immediately.
@@ -733,6 +945,18 @@ def _run_sharded(
         for ticket, outcome in backend.as_completed():
             info = owner.pop(ticket, None)
             submitted.pop(ticket, None)
+            predicted = predictions.pop(ticket, None)
+            if (
+                predicted
+                and isinstance(outcome, Outcome)
+                and not outcome.timed_out
+            ):
+                # Feed the measured runtime back into the cost model
+                # (timeouts excluded: their state counts are truncated,
+                # which would bias the correction low).
+                _CALIBRATION.observe(
+                    predicted, outcome.stats.states, outcome.elapsed
+                )
             if info is None:
                 continue  # cancelled or superseded: a stale result
             state, root_pos, sub_pos, steal_idx = info
@@ -758,9 +982,9 @@ def _run_sharded(
                 cancel_if_decided(slot)
             if rebalance and backend.capacity() > 1:
                 _maybe_steal(
-                    backend, owner, submitted, deadline, submit,
-                    try_finalize, cancel_if_decided, cancel_ticket, sink,
-                    telemetry,
+                    backend, owner, submitted, predictions, deadline,
+                    submit, try_finalize, cancel_if_decided, cancel_ticket,
+                    sink, telemetry,
                 )
         for state in states:
             if state.final is None:  # every shard cancelled under it
@@ -855,6 +1079,7 @@ def _maybe_steal(
     backend: ExecutionBackend,
     owner: dict,
     submitted: dict,
+    predictions: dict,
     deadline: float | None,
     submit,
     try_finalize,
@@ -863,13 +1088,16 @@ def _maybe_steal(
     sink: _ResultSink,
     telemetry: CampaignTelemetry,
 ) -> None:
-    """Re-split the predicted-largest sub-root slice when capacity idles.
+    """Re-split the predicted-largest in-flight batch when capacity idles.
 
-    The candidate is raced, not preempted: its depth-2 children are
+    The candidate is raced, not preempted: its re-split children are
     requeued alongside it and whichever representation completes first
     wins (the compositions are bit-identical, so the race cannot change
-    results).  At most one steal per completion event keeps the
-    in-process expansion cost bounded.
+    results).  A multi-entry batch re-splits into one shard per entry
+    (plain serial merge); a single-entry batch is expanded one more
+    cycle in-process into depth-2 children (prelude + merge), exactly
+    the historical steal.  At most one steal per completion event keeps
+    the in-process cost bounded.
     """
     if deadline is not None and time.monotonic() >= deadline:
         return
@@ -877,18 +1105,18 @@ def _maybe_steal(
         # No genuinely idle slots (the backend counts cancelled-but-
         # still-running shards that scheduler bookkeeping cannot see).
         return
-    # Cost-model candidate choice: prefer the slice with the *largest
-    # predicted remaining subtree* (frontier width ^ still-open slots of
-    # its seeded environment) -- the in-flight shard most worth
-    # re-splitting -- over the historical oldest-in-flight heuristic.
-    # Submit age only breaks ties (then ticket, for determinism of the
-    # choice itself; the race result is bit-identical either way).
+    # Cost-model candidate choice: prefer the batch with the *largest
+    # predicted remaining subtree* (the raw prediction recorded at
+    # submit time: frontier width ^ still-open slots, summed over the
+    # batch) -- the in-flight shard most worth re-splitting -- over the
+    # historical oldest-in-flight heuristic.  Submit age only breaks
+    # ties (then ticket, for determinism of the choice itself; the race
+    # result is bit-identical either way).
     candidate = None
     best = None
-    widths: dict[int, int] = {}
     for ticket, (state, root_pos, sub_pos, steal_idx) in owner.items():
         if steal_idx is not None or sub_pos is None:
-            continue  # only whole, un-stolen sub-root slices are targets
+            continue  # only whole, un-stolen seeded batches are targets
         if state.final is not None or state.unit.task.shared_visited:
             continue
         slot = state.slots[root_pos]
@@ -896,11 +1124,7 @@ def _maybe_steal(
             continue
         if slot.sub_outcomes[sub_pos] is not None or slot.outcome() is not None:
             continue
-        width = widths.get(state.index)
-        if width is None:
-            width = _frontier_width(state.unit.task)
-            widths[state.index] = width
-        predicted = _predicted_subtree(width, slot.expansion.entries[sub_pos])
+        predicted = predictions.get(ticket, 1)
         age = submitted.get(ticket, 0.0)
         rank = (-predicted, age, ticket)
         if best is None or rank < best:
@@ -910,8 +1134,28 @@ def _maybe_steal(
         return
     ticket, state, root_pos, sub_pos = candidate
     slot = state.slots[root_pos]
-    entry = slot.expansion.entries[sub_pos]
+    start, end = slot.batches[sub_pos]
+    entries = slot.expansion.entries[start:end]
     task = slot.subtask
+    if len(entries) > 1:
+        # Batch re-split: race the batch against one shard per entry.
+        # Their serial merge is the batch's own ``run_seeded`` replay,
+        # so no prelude and no in-process expansion is involved.
+        telemetry.steals += 1
+        width = _frontier_width(state.unit.task)
+        group = _StealGroup(None, count=len(entries))
+        slot.groups[sub_pos] = group
+        for steal_idx, child in enumerate(entries):
+            group.tickets.append(
+                submit(
+                    state, slot,
+                    WorkItem(task, (child,), None, spec_fp=state.spec_fp),
+                    root_pos, sub_pos, steal_idx,
+                    predicted=_predicted_subtree(width, child),
+                )
+            )
+        return
+    [entry] = entries
     explorer = Explorer(
         task.build_product(), task.space, task.build_roots(), task.limits
     )
@@ -933,11 +1177,14 @@ def _maybe_steal(
     else:
         group = _StealGroup(expansion)
         slot.groups[sub_pos] = group
+        width = _frontier_width(state.unit.task)
         for steal_idx, child in enumerate(expansion.entries):
             group.tickets.append(
                 submit(
-                    state, slot, WorkItem(task, child, None),
+                    state, slot,
+                    WorkItem(task, (child,), None, spec_fp=state.spec_fp),
                     root_pos, sub_pos, steal_idx,
+                    predicted=_predicted_subtree(width, child),
                 )
             )
         return

@@ -35,8 +35,13 @@ import socket
 import sys
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import replace
 
-from repro.campaign.backends.base import WorkItem, execute_item
+from repro.campaign.backends.specs import (
+    ShardEnvelope,
+    SpecMiss,
+    execute_envelope,
+)
 from repro.campaign.backends.wire import (
     TOKEN_ENV,
     WireError,
@@ -111,6 +116,11 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
     sock.setblocking(False)
     buffer = bytearray()
     running: dict[int, Future] = {}
+    envelopes: dict[int, ShardEnvelope] = {}
+    # Specs by fingerprint, cached agent-side: the coordinator ships each
+    # spec inline once per connection; pool children are warmed lazily
+    # (a cold child answers SpecMiss and the agent resubmits from here).
+    specs: dict = {}
     last_beat = time.monotonic()
     while True:
         now = time.monotonic()
@@ -122,11 +132,32 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
                 continue
             del running[ticket]
             try:
-                send_frame(sock, "result", {"ticket": ticket, "outcome": future.result()})
+                outcome = future.result()
             except WireError:
                 raise
             except Exception as exc:  # the shard itself raised
+                envelopes.pop(ticket, None)
                 send_frame(sock, "error", {"ticket": ticket, "message": repr(exc)})
+                continue
+            if isinstance(outcome, SpecMiss):
+                env = envelopes.get(ticket)
+                spec = specs.get(outcome.spec_fp)
+                if env is not None and spec is not None:
+                    env = replace(env, spec=spec)
+                    envelopes[ticket] = env
+                    running[ticket] = pool.submit(execute_envelope, env)
+                else:  # should be unreachable: the coordinator ships first
+                    send_frame(
+                        sock,
+                        "error",
+                        {
+                            "ticket": ticket,
+                            "message": f"unknown spec {outcome.spec_fp:#x}",
+                        },
+                    )
+                continue
+            envelopes.pop(ticket, None)
+            send_frame(sock, "result", {"ticket": ticket, "outcome": outcome})
         readable, _, _ = select.select([sock], [], [], 0.2)
         if not readable:
             continue
@@ -141,9 +172,12 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
         buffer += chunk
         for kind, payload in extract_frames(buffer):
             if kind == "task":
-                ticket, item = unpack_task(payload)
-                assert isinstance(item, WorkItem)
-                running[ticket] = pool.submit(execute_item, item)
+                ticket, env = unpack_task(payload)
+                assert isinstance(env, ShardEnvelope)
+                if env.spec_fp is not None and env.spec is not None:
+                    specs.setdefault(env.spec_fp, env.spec)
+                envelopes[ticket] = env
+                running[ticket] = pool.submit(execute_envelope, env)
             elif kind == "shutdown":
                 return
 

@@ -228,6 +228,33 @@ class ShadowProduct:
             (phase, (targets[1], targets[0]), pend1, pend0),
         )
 
+    @property
+    def packed_capable(self) -> bool:
+        """Whether both copies can flatten state (``repro.mc.packed``).
+
+        Per-core capability flag: cores advertising ``packed_state``
+        implement ``snapshot_words``/``restore_words``.  In-order cores
+        (Sodor) and the baseline scheme fall back to the object engine.
+        """
+        return all(getattr(m, "packed_state", False) for m in self.machines)
+
+    def snapshot_words(self, out: list, atoms) -> None:
+        """Flatten the product state to tagged words, copies then shadow."""
+        machine0, machine1 = self.machines
+        machine0.snapshot_words(out, atoms)
+        machine1.snapshot_words(out, atoms)
+        self.shadow.snapshot_words(
+            out, atoms, (machine0.seq_base(), machine1.seq_base())
+        )
+
+    def restore_words(self, words, pos: int, atoms) -> int:
+        """Restore a state produced by :meth:`snapshot_words`."""
+        pos = self.machines[0].restore_words(words, pos, atoms)
+        pos = self.machines[1].restore_words(words, pos, atoms)
+        # Machine restore leaves sequence numbers rebased (head seq 0),
+        # so the shadow restores against zero bases, as in ``restore``.
+        return self.shadow.restore_words(words, pos, atoms, (0, 0))
+
 
 class BaselineProduct:
     """Two ISA machines + two OoO copies (the Fig. 1a baseline scheme)."""

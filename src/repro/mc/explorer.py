@@ -68,6 +68,7 @@ from repro.isa.encoding import EncodingSpace
 from repro.isa.instruction import HALT, Opcode
 from repro.mc.env import Environment
 from repro.mc.intern import InternTable, deep_sizeof, stable_fingerprint
+from repro.mc.packed import PackedCodec, resolve_engine
 from repro.mc.result import (
     ATTACK,
     PROVED,
@@ -206,6 +207,7 @@ class Explorer:
         *,
         shared_visited: bool = False,
         visited_filter=None,
+        engine: str = "auto",
     ):
         """Build a search engine over one product.
 
@@ -216,6 +218,15 @@ class Explorer:
         :class:`repro.mc.shared_filter.SharedVisitedFilter` in on top, so
         the sharing crosses worker-process boundaries; it is consulted
         only when ``shared_visited`` is on.
+
+        ``engine`` selects the snapshot representation the DFS interns
+        and restores: ``"object"`` (nested tuples), ``"packed"``
+        (flat tagged-word ``bytes``; see :mod:`repro.mc.packed`), or
+        ``"auto"`` -- packed when the product advertises the capability
+        and visited sharing is off, object otherwise, overridable via
+        ``REPRO_MC_ENGINE``.  Both engines explore bit-identically (the
+        packed encoding preserves snapshot equality exactly); the choice
+        only moves the interning/restore cost.
         """
         self.product = product
         self.space = space
@@ -224,6 +235,8 @@ class Explorer:
         self.universe = space.instructions()
         self.shared_visited = shared_visited
         self.visited_filter = visited_filter
+        self.engine = resolve_engine(engine, product, shared_visited)
+        self._codec = PackedCodec(product) if self.engine == "packed" else None
         self._intern = InternTable()
         self._last_visited: set | None = None
         # Root canonicalization for shared mode: sort each root's memory
@@ -255,12 +268,12 @@ class Explorer:
         """Search every root; return proof, first attack, or timeout."""
         stack: list[tuple] = []
         imem_size = self.product.params.imem_size
+        codec = self._codec
+        snapshot = codec.snapshot if codec is not None else self.product.snapshot
         for root_index, root in enumerate(self.roots):
             self.product.reset(root.dmem_pair)
             env = Environment.empty(imem_size)
-            snap, kref, sid = self._intern_state(
-                root_index, self.product.snapshot()
-            )
+            snap, kref, sid = self._intern_state(root_index, snapshot())
             stack.append((root_index, env, snap, kref, sid, 0))
         return self._search(stack)
 
@@ -277,8 +290,15 @@ class Explorer:
         if len(self.roots) != 1:
             raise ValueError("seeded search requires exactly one root")
         stack = []
+        codec = self._codec
+        if codec is not None:
+            # Frontier entries carry object-engine snapshots (the shard
+            # plan crosses process boundaries in that form); re-encode
+            # them through the live product before seeding.
+            self.product.reset(self.roots[0].dmem_pair)
         for entry in entries:
-            snap, kref, sid = self._intern_state(0, entry.snap)
+            raw = entry.snap if codec is None else codec.encode(entry.snap)
+            snap, kref, sid = self._intern_state(0, raw)
             stack.append((0, entry.env, snap, kref, sid, entry.depth))
         return self._search(stack)
 
@@ -405,10 +425,11 @@ class Explorer:
         """The DFS loop over an already-seeded stack."""
         budget = _Budget(self.limits)
         product = self.product
-        restore = product.restore
+        codec = self._codec
+        restore = codec.restore if codec is not None else product.restore
         step_cycle = product.step_cycle
         quiescent = product.quiescent
-        snapshot = product.snapshot
+        snapshot = codec.snapshot if codec is not None else product.snapshot
         fetch_requests = product.fetch_requests
         intern_state = self._intern_state
         choices = self._choices

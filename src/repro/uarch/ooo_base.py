@@ -594,3 +594,80 @@ class OoOCore:
         self._branch_occ = dict(occ)
         if self._cache is not None:
             self._cache.restore(cache)
+
+    # ------------------------------------------------------------------
+    # Packed snapshots (repro.mc.packed)
+    # ------------------------------------------------------------------
+    #: Capability flag: this core can flatten its state to tagged words.
+    packed_state = True
+
+    def snapshot_words(self, out: list, atoms) -> None:
+        """Append this core's state as tagged words (``repro.mc.packed``).
+
+        Field-for-field the same canonical state as :meth:`snapshot`
+        (same rebasing, same ``branch_occ`` ordering rule), flattened:
+        scalars pack inline, while the register file, cache tags, the
+        frozen (rebased) ROB, and the branch-occurrence map intern as
+        atoms -- atom-id equality is tuple equality, so word equality
+        coincides with object-snapshot equality.  Every section has a
+        config-fixed width, so the word stream parses unambiguously.
+        """
+        rob = self._rob
+        base = rob[0][E_SEQ] if rob else self._next_seq
+        aid = atoms.id_of
+        mem_seq = self._mem_seq
+        cache = self._cache
+        if base:
+            rob_frozen = tuple((e[E_SEQ] - base, *e[1:]) for e in rob)
+        else:
+            rob_frozen = tuple(map(tuple, rob))
+        branch_occ = self._branch_occ
+        if len(branch_occ) > 1:
+            occ = tuple(sorted(branch_occ.items()))
+        else:
+            occ = tuple(branch_occ.items())
+        out.extend(
+            (
+                self._fetch_pc << 2,
+                4 if self._fetch_stopped else 0,
+                4 if self._halted else 0,
+                (self._next_seq - base) << 2,
+                1 if mem_seq is None else (mem_seq - base) << 2,
+                self._mem_cancel << 2,
+                (aid(tuple(self._regs)) << 2) | 2,
+                (aid(rob_frozen) << 2) | 2,
+                (aid(occ) << 2) | 2,
+            )
+            if cache is None
+            else (
+                self._fetch_pc << 2,
+                4 if self._fetch_stopped else 0,
+                4 if self._halted else 0,
+                (self._next_seq - base) << 2,
+                1 if mem_seq is None else (mem_seq - base) << 2,
+                self._mem_cancel << 2,
+                (aid(tuple(self._regs)) << 2) | 2,
+                (aid(cache.snapshot()) << 2) | 2,
+                (aid(rob_frozen) << 2) | 2,
+                (aid(occ) << 2) | 2,
+            )
+        )
+
+    def restore_words(self, words, pos: int, atoms) -> int:
+        """Restore from :meth:`snapshot_words` output; returns next pos."""
+        values = atoms.values
+        self._fetch_pc = words[pos] >> 2
+        self._fetch_stopped = bool(words[pos + 1] >> 2)
+        self._halted = bool(words[pos + 2] >> 2)
+        self._next_seq = words[pos + 3] >> 2
+        word = words[pos + 4]
+        self._mem_seq = None if word == 1 else word >> 2
+        self._mem_cancel = words[pos + 5] >> 2
+        self._regs = list(values[words[pos + 6] >> 2])
+        pos += 7
+        if self._cache is not None:
+            self._cache.restore(values[words[pos] >> 2])
+            pos += 1
+        self._rob = list(map(list, values[words[pos] >> 2]))
+        self._branch_occ = dict(values[words[pos + 1] >> 2])
+        return pos + 2

@@ -225,14 +225,16 @@ def test_wire_translates_absolute_deadlines_to_remaining_budget():
     task = _task(Defense.NONE, limits=SearchLimits(timeout_s=5, deadline=deadline))
     kind, payload = pack_task(7, WorkItem(task, None, "some-filter"))
     assert kind == "task"
-    assert payload["item"].task.limits.deadline is None
-    assert payload["item"].filter_name is None  # segments do not cross hosts
+    env = payload["env"]
+    assert env.spec_fp is None  # bare items cross as plain envelopes
+    assert env.item.task.limits.deadline is None
+    assert env.item.filter_name is None  # segments do not cross hosts
     assert 25.0 < payload["deadline_left"] <= 30.0
-    ticket, item = unpack_task(payload)
+    ticket, env = unpack_task(payload)
     assert ticket == 7
-    re_anchored = item.task.limits.deadline - time.monotonic()
+    re_anchored = env.item.task.limits.deadline - time.monotonic()
     assert 25.0 < re_anchored <= 30.0
-    assert item.task.limits.timeout_s == 5  # relative budget untouched
+    assert env.item.task.limits.timeout_s == 5  # relative budget untouched
 
 
 def test_socket_backend_rejects_bad_tokens():

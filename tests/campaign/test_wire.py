@@ -125,8 +125,9 @@ def test_heartbeat_interleaves_with_a_partial_task_frame():
     buffer.extend(task[split:])
     [(kind, payload)] = extract_frames(buffer)
     assert kind == "task"
-    ticket, item = unpack_task(payload)
+    ticket, env = unpack_task(payload)
     assert ticket == 9
+    item = env.item
     assert item.fuzz is not None and item.fuzz.n_programs == 1
 
 

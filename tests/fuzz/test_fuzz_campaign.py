@@ -144,11 +144,11 @@ def test_wire_translates_fuzz_deadlines():
     shard = _mini_shard(limits=SearchLimits(deadline=deadline))
     kind, payload = pack_task(3, WorkItem(fuzz=shard))
     assert kind == "task"
-    assert payload["item"].fuzz.limits.deadline is None
+    assert payload["env"].item.fuzz.limits.deadline is None
     assert 25.0 < payload["deadline_left"] <= 30.0
-    ticket, item = unpack_task(payload)
+    ticket, env = unpack_task(payload)
     assert ticket == 3
-    re_anchored = item.fuzz.limits.deadline - time.monotonic()
+    re_anchored = env.item.fuzz.limits.deadline - time.monotonic()
     assert 25.0 < re_anchored <= 30.0
 
 

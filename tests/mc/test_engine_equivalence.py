@@ -40,16 +40,49 @@ SLICES = {
 
 
 @pytest.mark.parametrize("slice_name", sorted(SLICES))
-def test_new_engine_matches_legacy_bit_for_bit(slice_name):
+def test_new_engine_matches_legacy_bit_for_bit(slice_name, monkeypatch):
+    """Both state engines (object tuples and packed word arrays) must
+    reproduce the legacy search bit for bit, on every slice."""
     units = SLICES[slice_name]()
     assert units, slice_name
     for unit in units:
         old = verify_legacy(unit.task)
-        new = verify(unit.task)
-        label = f"{slice_name}:{'/'.join(unit.key)}"
-        assert new.kind == old.kind, label
-        assert new.stats == old.stats, label
-        assert new.counterexample == old.counterexample, label
+        for engine in ("object", "packed"):
+            monkeypatch.setenv("REPRO_MC_ENGINE", engine)
+            new = verify(unit.task)
+            label = f"{slice_name}:{'/'.join(unit.key)}:{engine}"
+            assert new.kind == old.kind, label
+            assert new.stats == old.stats, label
+            assert new.counterexample == old.counterexample, label
+
+
+def test_packed_engine_selection_follows_capability(monkeypatch):
+    """The packed engine engages exactly where the capability flag says:
+    shadow products of OoO cores pack, the four-machine baseline and
+    shared-visited searches fall back to the object engine."""
+    from repro.mc.explorer import Explorer
+
+    monkeypatch.delenv("REPRO_MC_ENGINE", raising=False)
+    engines = set()
+    for unit in table2.units(QUICK):
+        task = unit.task
+        product = task.build_product()
+        explorer = Explorer(
+            product, task.space, task.build_roots(), task.limits,
+            shared_visited=task.shared_visited,
+        )
+        expected = (
+            "packed" if getattr(product, "packed_capable", False) else "object"
+        )
+        assert explorer.engine == expected, unit.key
+        engines.add(explorer.engine)
+        shared = Explorer(
+            product, task.space, task.build_roots(), task.limits,
+            shared_visited=True,
+        )
+        assert shared.engine == "object", unit.key
+    # The grid exercises both sides of the capability split.
+    assert engines == {"object", "packed"}
 
 
 def test_seeded_shards_match_legacy_monolith():
