@@ -1,0 +1,108 @@
+"""The committed grandfather file: findings tolerated until fixed.
+
+A baseline entry keys a finding by ``(checker, rule, path, context)``
+where ``context`` is the stripped source line the finding anchors to --
+line *numbers* are deliberately absent, so unrelated edits above a
+grandfathered finding do not invalidate the baseline, while any edit to
+the offending line itself (presumably a fix attempt) surfaces the
+finding again.  Matching consumes entries multiset-style: two identical
+violations need two entries.
+
+The file is JSON with sorted keys and one finding per entry, so baseline
+churn reviews as a readable diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.framework import Finding, SourceFile
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def entry_key(entry: dict) -> tuple:
+    return (
+        entry.get("checker", ""),
+        entry.get("rule", ""),
+        entry.get("path", ""),
+        entry.get("context", ""),
+    )
+
+
+def finding_key(finding: Finding, files: dict[str, SourceFile]) -> tuple:
+    file = files.get(finding.path)
+    context = file.context(finding.line) if file is not None else ""
+    return (finding.checker, finding.rule, finding.path, context)
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Read a baseline file; raises ``ValueError`` on a malformed one."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path}: not valid JSON ({exc})") from None
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"baseline {path}: expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": [...]}}'
+        )
+    for entry in document["findings"]:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str)
+            for field in ("checker", "rule", "path", "context")
+        ):
+            raise ValueError(
+                f"baseline {path}: every finding needs string "
+                "checker/rule/path/context fields"
+            )
+    return document["findings"]
+
+
+def save_baseline(
+    path: Path, findings: list[Finding], files: dict[str, SourceFile]
+) -> None:
+    """Write ``findings`` as the new baseline (sorted, diff-friendly)."""
+    entries = [
+        {
+            "checker": checker,
+            "rule": rule,
+            "path": display,
+            "context": context,
+        }
+        for checker, rule, display, context in sorted(
+            finding_key(finding, files) for finding in findings
+        )
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def match_baseline(
+    findings: list[Finding],
+    baseline: list[dict],
+    files: dict[str, SourceFile],
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, count suppressed by the baseline)."""
+    budget = Counter(entry_key(entry) for entry in baseline)
+    active: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding_key(finding, files)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            active.append(finding)
+    return active, suppressed

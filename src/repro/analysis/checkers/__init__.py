@@ -1,0 +1,13 @@
+"""Built-in shadowlint checkers (importing registers them)."""
+
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.packed_caps import PackedCapsChecker
+from repro.analysis.checkers.snapshot_purity import SnapshotPurityChecker
+from repro.analysis.checkers.wire_safety import WireSafetyChecker
+
+__all__ = [
+    "DeterminismChecker",
+    "PackedCapsChecker",
+    "SnapshotPurityChecker",
+    "WireSafetyChecker",
+]

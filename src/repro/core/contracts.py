@@ -38,7 +38,7 @@ class Contract:
     """A named ``O_ISA`` projection over commit records."""
 
     name: str
-    observe: Callable[[CommitRecord], IsaObservation | None]
+    observe: Callable[[CommitRecord], IsaObservation | None]  # repro: allow[wire-safety] always bound to the module-level _*_obs functions below, which pickle by reference
 
     def isa_obs(self, record: CommitRecord) -> IsaObservation | None:
         """Observation the contract extracts from one committed instruction."""

@@ -259,6 +259,11 @@ class ShadowProduct:
 class BaselineProduct:
     """Two ISA machines + two OoO copies (the Fig. 1a baseline scheme)."""
 
+    #: Honest capability declaration (audited by repro.analysis): the
+    #: ISA reference machines have no snapshot_words implementation, so
+    #: the baseline scheme always runs on the object engine.
+    packed_capable = False
+
     def __init__(self, core_factory, contract: Contract, assumptions=()):
         cpu0, cpu1 = core_factory(), core_factory()
         self.params = cpu0.params

@@ -58,7 +58,7 @@ class VerificationTask:
             (``repro.mc.shared_filter``).
     """
 
-    core_factory: Callable[[], object]
+    core_factory: Callable[[], object]  # repro: allow[wire-safety] campaigns only ship picklable CoreSpec here; closures are documented as in-process-only
     contract: Contract
     space: EncodingSpace
     scheme: str = SCHEME_SHADOW

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.core.shadow import ContractShadowLogic
 from repro.events import FetchBundle
 from repro.fuzz.coverage import cycle_keys
-from repro.fuzz.rand import predictor_bit
+from repro.rand import predictor_bit
 from repro.isa.instruction import HALT, Instruction, Opcode
 from repro.mc.env import Environment
 from repro.mc.result import Counterexample
@@ -83,7 +83,7 @@ def run_trace(
     fetch protocol the model checker uses: poll fetch requests, deliver
     program instructions (``HALT`` outside the image), answer predictor
     queries from the shared seeded oracle
-    (:func:`repro.fuzz.rand.predictor_bit`).  ``max_cycles`` bounds
+    (:func:`repro.rand.predictor_bit`).  ``max_cycles`` bounds
     diverging programs (verdict ``hung``).
     """
     product.reset(dmem_pair)

@@ -8,7 +8,7 @@ socket) relies on for deterministic merges:
 
 - :class:`FuzzShard` -- one batch of random-testing trials.  The trial
   stream is fully determined by ``(config.seed, round, batch, trial)``
-  through :func:`repro.fuzz.rand.derive_seed`, and coverage novelty is
+  through :func:`repro.rand.derive_seed`, and coverage novelty is
   judged against the ``known_coverage`` snapshot shipped *in* the shard
   -- so a shard's result is independent of where and when it runs.
 - :class:`MinimizeProbe` -- one delta-debugging candidate: does this
@@ -37,7 +37,7 @@ from repro.fuzz.oracle import (
     TRACE_OK,
     run_trace,
 )
-from repro.fuzz.rand import derive_seed
+from repro.rand import derive_seed
 from repro.isa.encoding import EncodingSpace
 from repro.isa.instruction import Instruction
 from repro.mc.explorer import SearchLimits

@@ -22,6 +22,11 @@ class IsaMachine:
     products can drive either kind uniformly.
     """
 
+    #: Honest capability declaration (audited by repro.analysis): the
+    #: reference machine appears only in baseline products, which run on
+    #: the object engine; it has no snapshot_words implementation.
+    packed_state = False
+
     def __init__(self, params: MachineParams):
         self.params = params
         self._pc = 0

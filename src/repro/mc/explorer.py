@@ -477,14 +477,21 @@ class Explorer:
             if key in visited:
                 continue
             if vfilter is not None:
-                env_fp = env_fps.get(id(env))
+                # The memo keys below are id()-based on purpose: they
+                # never leave this process (the *values* they cache are
+                # the process-independent fingerprints that do), and the
+                # keyed objects are interned canonicals / visited-key
+                # residents whose ids stay valid for the whole search.
+                env_key = id(env)  # repro: allow[determinism] process-local memo key; only the cached fingerprint crosses processes
+                env_fp = env_fps.get(env_key)
                 if env_fp is None:
                     env_fp = stable_fingerprint((env.imem, env.preds))
-                    env_fps[id(env)] = env_fp
-                kref_fp = snap_fps.get(id(kref))
+                    env_fps[env_key] = env_fp
+                kref_key = id(kref)  # repro: allow[determinism] process-local memo key; kref is an interned canonical kept alive by the visited set
+                kref_fp = snap_fps.get(kref_key)
                 if kref_fp is None:
                     kref_fp = stable_fingerprint(kref)
-                    snap_fps[id(kref)] = kref_fp
+                    snap_fps[kref_key] = kref_fp
                 fingerprint = stable_fingerprint(
                     (pair_fps[root_index], env_fp, kref_fp)
                 )

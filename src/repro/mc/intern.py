@@ -95,7 +95,7 @@ def deep_sizeof(obj, seen: set[int] | None = None) -> int:
     """
     if seen is None:
         seen = set()
-    ident = id(obj)
+    ident = id(obj)  # repro: allow[determinism] dedup by object identity is the measurement (shared guts count once); sizes never leave this process
     if ident in seen:
         return 0
     seen.add(ident)

@@ -9,12 +9,12 @@ obligation of §5.4) and counterexample replay.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Protocol
 
 from repro.events import CommitRecord, CycleOutput, FetchBundle
 from repro.isa.instruction import Opcode
 from repro.isa.program import Program
+from repro.rand import derive_seed
 
 #: Maps (pc, occurrence) to a predicted branch direction.
 PredictorPolicy = Callable[[int, int], bool]
@@ -49,11 +49,15 @@ def seeded_predictor(seed: int) -> PredictorPolicy:
     """A deterministic pseudo-random predictor keyed by ``(pc, occurrence)``.
 
     Both copies of a machine pair driven with the same policy see the same
-    predictions -- the property the verification products rely on.
+    predictions -- the property the verification products rely on.  The
+    bits come from the splitmix64 derivation in :mod:`repro.rand`, never
+    from builtin ``hash()``: tuple hashes fold in the per-process string
+    salt on some field types, and a predictor that disagrees between two
+    worker processes silently desynchronizes differential runs.
     """
 
     def predict(pc: int, occurrence: int) -> bool:
-        return random.Random(hash((seed, pc, occurrence))).random() < 0.5
+        return bool(derive_seed(seed, pc, occurrence) & 1)
 
     return predict
 

@@ -22,6 +22,11 @@ class InOrderCore:
 
     name = "Sodor-like"
 
+    #: Honest capability declaration (audited by repro.analysis): the
+    #: in-order core still snapshots as nested tuples only; porting its
+    #: latch state to the snapshot_words protocol is future work.
+    packed_state = False
+
     def __init__(self, params: MachineParams):
         self.params = params
         # A config object keeps the machine-driving protocol uniform; the

@@ -1,0 +1,31 @@
+"""Golden determinism violations (one per rule)."""
+
+import os
+import random
+import time
+
+STARTED = time.time()  # import-time-input
+WORKERS = os.environ.get("WORKERS", "1")  # import-time-input
+
+
+def derive(seed, pc, occurrence):
+    return hash((seed, pc, occurrence))  # salted-hash
+
+
+def memo_key(obj):
+    return id(obj)  # id-value
+
+
+def merge(results):
+    ordered = []
+    for item in set(results):  # set-iter
+        ordered.append(item)
+    return ordered
+
+
+def log_lines(keys):
+    return [str(key) for key in frozenset(keys)]  # set-iter
+
+
+def draw():
+    return random.random()  # global-random

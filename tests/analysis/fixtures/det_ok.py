@@ -1,0 +1,39 @@
+"""Near-miss negatives: superficially similar, all deterministic."""
+
+import os
+import random
+
+
+class Key:
+    def __init__(self, parts):
+        self.parts = parts
+
+    def __hash__(self):
+        return hash(self.parts)  # hash() inside __hash__ is the idiom
+
+    def __eq__(self, other):
+        return isinstance(other, Key) and self.parts == other.parts
+
+
+def merge(results):
+    ordered = []
+    for item in sorted(set(results)):  # sorted() fixes the order
+        ordered.append(item)
+    return ordered
+
+
+def dedupe(keys):
+    return {key.upper() for key in set(keys)}  # set-to-set is order-free
+
+
+def summarize(keys):
+    unique = set(keys)
+    return sum(len(key) for key in unique)  # order-free consumer
+
+
+def draw(seed):
+    return random.Random(seed).random()  # seeded local stream
+
+
+def read_config():
+    return os.environ.get("WORKERS", "1")  # function-scope read is fine

@@ -1,0 +1,76 @@
+"""Golden packed-caps violations: dishonest or drifting capability flags."""
+
+
+class Undeclared:
+    """Machine-like but silent about packed capability."""
+
+    def snapshot(self):
+        return ()
+
+    def restore(self, snap):
+        pass
+
+    def step_cycle(self):
+        return None
+
+
+class MissingWords:
+    """Claims the packed protocol without implementing it."""
+
+    packed_state = True
+
+    def snapshot(self):
+        return (self._pc,)
+
+    def restore(self, snap):
+        (self._pc,) = snap
+
+    def step(self, fetch):
+        return None
+
+
+class GoodBase:
+    packed_state = True
+
+    def snapshot(self):
+        return (self._a,)
+
+    def restore(self, snap):
+        (self._a,) = snap
+
+    def snapshot_words(self, out):
+        out.append(self._a)
+
+    def restore_words(self, words):
+        self._a = words[0]
+
+    def step(self, fetch):
+        return None
+
+
+class DriftChild(GoodBase):
+    """Overrides the object layout without re-deriving the packed one."""
+
+    def snapshot(self):
+        return (self._a, self._b)
+
+
+class AttrDrift:
+    """snapshot and snapshot_words serialize different state fields."""
+
+    packed_state = True
+
+    def snapshot(self):
+        return (self._pc, self._regs)
+
+    def snapshot_words(self, out):
+        out.append(self._pc)
+
+    def restore(self, snap):
+        (self._pc, self._regs) = snap
+
+    def restore_words(self, words):
+        self._pc = words[0]
+
+    def step(self, fetch):
+        return None

@@ -1,0 +1,57 @@
+"""Near-miss negatives: honest declarations, matched layouts, exemptions."""
+
+from typing import Protocol
+
+
+class HonestObjectCore:
+    """No words protocol -- and says so."""
+
+    packed_state = False
+
+    def snapshot(self):
+        return (self._pc,)
+
+    def restore(self, snap):
+        (self._pc,) = snap
+
+    def step(self, fetch):
+        return None
+
+
+class PackedCore:
+    """Full words protocol; both layouts read the same state fields."""
+
+    packed_state = True
+
+    def snapshot(self):
+        return (self._pc, self._regs)
+
+    def snapshot_words(self, out):
+        out.extend((self._pc, self._regs))
+
+    def restore(self, snap):
+        (self._pc, self._regs) = snap
+
+    def restore_words(self, words):
+        self._pc = words[0]
+        self._regs = tuple(words[1:])
+
+    def step(self, fetch):
+        return None
+
+
+class MachineProtocol(Protocol):
+    """Interface definitions are exempt: nothing to declare."""
+
+    def snapshot(self): ...
+
+    def restore(self, snap): ...
+
+    def step(self, fetch): ...
+
+
+class NotAMachine:
+    """Defines snapshot only; not machine-like, no declaration required."""
+
+    def snapshot(self):
+        return ()

@@ -1,0 +1,21 @@
+"""Golden snapshot-purity violations: mutating hash-consed values."""
+
+
+def corrupt_canonical(table, rows):
+    canonical, sid = table.intern(rows)
+    canonical.append(rows[-1])  # mutates the table's shared canonical
+    return sid
+
+
+def corrupt_argument(table, snap):
+    sid = table.id_of(snap)
+    snap[0] = 0  # the table aliased snap when it interned it
+    return sid
+
+
+def corrupt_via_alias(table, snap):
+    intern = table.intern
+    canon, sid = intern(snap)
+    first = canon[0]
+    first += (9,)  # one-level alias of a canonical, still shared
+    return sid

@@ -1,0 +1,21 @@
+"""Near-miss negatives: mutation of copies and of pre-freeze scratch."""
+
+
+def mutate_a_copy(table, rows):
+    canonical, sid = table.intern(rows)
+    scratch = list(canonical)  # an explicit copy: mutation stays local
+    scratch.append(0)
+    return scratch, sid
+
+
+def freeze_then_intern(table, rows):
+    staged = []
+    for row in rows:
+        staged.append(row)  # scratch list, frozen before interning
+    return table.id_of(tuple(staged))
+
+
+def mutate_unrelated(table, rows, log):
+    canonical, sid = table.intern(rows)
+    log.append(sid)  # a different, never-interned object
+    return canonical

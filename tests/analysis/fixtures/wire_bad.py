@@ -1,0 +1,25 @@
+"""Golden wire-safety violations: one per rule, all reachable from WorkItem."""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def _make_payload_class():
+    class LocalPayload:  # function-local, yet shipped inside WorkItem
+        def __init__(self, bits):
+            self.bits = bits
+
+    return LocalPayload
+
+
+class BareResult:  # module-level but no declared instance layout
+    def __init__(self, status):
+        self.status = status
+
+
+@dataclass
+class WorkItem:
+    payload: "LocalPayload"
+    result: "BareResult"
+    on_done: Callable[[], None]
+    retries: int = field(default_factory=lambda: 0)

@@ -1,0 +1,29 @@
+"""Near-miss negatives: the same shapes, kept off the wire or made safe."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Payload:
+    bits: tuple
+
+
+class SlottedResult:
+    __slots__ = ("status",)
+
+    def __init__(self, status):
+        self.status = status
+
+
+@dataclass
+class WorkItem:
+    payload: Payload
+    result: SlottedResult
+    retries: tuple = field(default_factory=tuple)
+
+
+def _make_helper_class():
+    class NeverShipped:  # local AND unslotted, but unreachable from wire roots
+        factory = staticmethod(lambda: 0)
+
+    return NeverShipped

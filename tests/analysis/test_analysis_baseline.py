@@ -1,0 +1,138 @@
+"""Baseline round-trip: grandfathering, line-drift tolerance, multiset
+matching, and strict rejection of malformed files.
+
+The baseline keys findings by ``(checker, rule, path, context)`` with
+``context`` the stripped offending line -- so edits *around* a
+grandfathered finding keep it suppressed, while an edit *to* the line
+(presumably a fix attempt) resurfaces it.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+)
+from repro.analysis.framework import collect_files
+
+
+def analyze_and_files(path):
+    report = analyze([path])
+    files = {file.display: file for file in collect_files([path])}
+    return report, files
+
+
+def test_round_trip_suppresses_everything(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def f(x):\n    return hash(x)\n\ndef g(x):\n    return id(x)\n",
+        encoding="utf-8",
+    )
+    report, files = analyze_and_files(mod)
+    assert len(report.findings) == 2
+
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, report.findings, files)
+    entries = load_baseline(baseline_path)
+    assert len(entries) == 2
+
+    regated = analyze([mod], baseline=entries)
+    assert regated.clean
+    assert regated.baselined == 2
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("def f(x):\n    return hash(x)\n", encoding="utf-8")
+    report, files = analyze_and_files(mod)
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, report.findings, files)
+
+    # Push the finding three lines down; the context key still matches.
+    mod.write_text(
+        "# a new header comment\n\n\ndef f(x):\n    return hash(x)\n",
+        encoding="utf-8",
+    )
+    regated = analyze([mod], baseline=load_baseline(baseline_path))
+    assert regated.clean
+    assert regated.baselined == 1
+
+
+def test_editing_the_offending_line_resurfaces_the_finding(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("def f(x):\n    return hash(x)\n", encoding="utf-8")
+    report, files = analyze_and_files(mod)
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, report.findings, files)
+
+    mod.write_text("def f(x):\n    return hash((x, 1))\n", encoding="utf-8")
+    regated = analyze([mod], baseline=load_baseline(baseline_path))
+    assert regated.baselined == 0
+    assert [(f.checker, f.rule) for f in regated.findings] == [
+        ("determinism", "salted-hash")
+    ]
+
+
+def test_matching_is_multiset(tmp_path):
+    # Two identical violations (same checker/rule/path/context) need two
+    # baseline entries; one entry only absorbs one of them.
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def f(x):\n    return id(x)\n\ndef g(x):\n    return id(x)\n",
+        encoding="utf-8",
+    )
+    report, files = analyze_and_files(mod)
+    assert len(report.findings) == 2
+
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, report.findings, files)
+    entries = load_baseline(baseline_path)
+    assert len(entries) == 2
+    assert entries[0] == entries[1]
+
+    active, suppressed = match_baseline(report.findings, entries[:1], files)
+    assert (len(active), suppressed) == (1, 1)
+    active, suppressed = match_baseline(report.findings, entries, files)
+    assert (len(active), suppressed) == (0, 2)
+
+
+def test_saved_file_is_sorted_versioned_json(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(
+        "def f(x):\n    return id(x)\n\ndef g(x):\n    return hash(x)\n",
+        encoding="utf-8",
+    )
+    report, files = analyze_and_files(mod)
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(baseline_path, report.findings, files)
+
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert document["version"] == BASELINE_VERSION
+    entries = document["findings"]
+    assert entries == sorted(
+        entries, key=lambda e: (e["checker"], e["rule"], e["path"], e["context"])
+    )
+    for entry in entries:
+        assert set(entry) == {"checker", "rule", "path", "context"}
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "not json at all {",
+        json.dumps({"version": 99, "findings": []}),
+        json.dumps({"version": BASELINE_VERSION, "findings": "nope"}),
+        json.dumps({"version": BASELINE_VERSION, "findings": [{"checker": 1}]}),
+        json.dumps([]),
+    ],
+)
+def test_malformed_baselines_are_rejected(tmp_path, text):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(text, encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(baseline_path)

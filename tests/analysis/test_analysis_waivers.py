@@ -1,0 +1,138 @@
+"""Waiver grammar: what suppresses, what does not, and what is itself
+a finding.
+
+The waiver layer is the suite's trust boundary -- a silently-broken
+waiver either hides real violations or floods CI -- so both directions
+are pinned: well-formed waivers suppress exactly their checker on
+exactly their lines, and malformed/unreasoned/unknown waivers surface as
+``waiver[...]`` findings that no waiver can silence.
+"""
+
+from repro.analysis import analyze
+
+
+def check(tmp_path, text):
+    path = tmp_path / "mod.py"
+    path.write_text(text, encoding="utf-8")
+    return analyze([path])
+
+
+def kinds(report):
+    return {(f.checker, f.rule) for f in report.findings}
+
+
+def test_trailing_waiver_suppresses_own_line(tmp_path):
+    report = check(
+        tmp_path,
+        "def f(x):\n"
+        "    return hash(x)  # repro: allow[determinism] golden value, "
+        "process-local only\n",
+    )
+    assert report.clean
+    assert report.waived == 1
+
+
+def test_comment_line_waiver_covers_next_line(tmp_path):
+    report = check(
+        tmp_path,
+        "def f(x):\n"
+        "    # repro: allow[determinism] memo key never leaves the process\n"
+        "    return id(x)\n",
+    )
+    assert report.clean
+    assert report.waived == 1
+
+
+def test_waiver_only_covers_named_checker(tmp_path):
+    report = check(
+        tmp_path,
+        "def f(x):\n"
+        "    return hash(x)  # repro: allow[wire-safety] wrong checker\n",
+    )
+    assert kinds(report) == {("determinism", "salted-hash")}
+    assert report.waived == 0
+
+
+def test_waiver_only_covers_its_line(tmp_path):
+    report = check(
+        tmp_path,
+        "def f(x):\n"
+        "    y = hash(x)  # repro: allow[determinism] this one is fine\n"
+        "    return hash(y)\n",
+    )
+    assert kinds(report) == {("determinism", "salted-hash")}
+    assert report.waived == 1
+
+
+def test_multi_id_waiver(tmp_path):
+    report = check(
+        tmp_path,
+        "def f(x):\n"
+        "    return hash(x)  # repro: allow[determinism,snapshot-purity] "
+        "two ids, one reason\n",
+    )
+    assert report.clean
+    assert report.waived == 1
+
+
+def test_file_level_waiver(tmp_path):
+    report = check(
+        tmp_path,
+        "# repro: allow-file[determinism] fixture exercises hashing "
+        "throughout\n"
+        "def f(x):\n"
+        "    return hash(x)\n"
+        "\n"
+        "def g(x):\n"
+        "    return id(x)\n",
+    )
+    assert report.clean
+    assert report.waived == 2
+
+
+def test_malformed_waiver_is_a_finding(tmp_path):
+    report = check(tmp_path, "x = 1  # repro: allowed[determinism] typo\n")
+    assert kinds(report) == {("waiver", "malformed")}
+
+
+def test_empty_id_list_is_a_finding(tmp_path):
+    report = check(tmp_path, "x = 1  # repro: allow[] no ids\n")
+    assert kinds(report) == {("waiver", "empty")}
+
+
+def test_reasonless_waiver_is_a_finding_and_does_not_suppress(tmp_path):
+    report = check(tmp_path, "x = hash(1)  # repro: allow[determinism]\n")
+    assert kinds(report) == {
+        ("waiver", "no-reason"),
+        ("determinism", "salted-hash"),
+    }
+
+
+def test_unknown_checker_id_is_a_finding(tmp_path):
+    report = check(
+        tmp_path, "x = 1  # repro: allow[spellcheck] not a checker\n"
+    )
+    assert kinds(report) == {("waiver", "unknown-checker")}
+
+
+def test_waiver_findings_cannot_be_waived(tmp_path):
+    # Even a file-level waiver for the "waiver" checker must not silence
+    # waiver-syntax findings: the suppression layer audits itself.
+    report = check(
+        tmp_path,
+        "# repro: allow-file[waiver] trying to silence the audit\n"
+        "x = hash(1)  # repro: allow[determinism]\n",
+    )
+    assert ("waiver", "no-reason") in kinds(report)
+
+
+def test_waiver_syntax_in_docstrings_is_inert(tmp_path):
+    # The grammar documented inside a string literal must neither parse
+    # as a live waiver nor report as a malformed one.
+    report = check(
+        tmp_path,
+        '"""Waive with ``# repro: allow[determinism] reason``."""\n'
+        "x = hash(1)\n",
+    )
+    assert kinds(report) == {("determinism", "salted-hash")}
+    assert report.waived == 0
