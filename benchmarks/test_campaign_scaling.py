@@ -156,16 +156,22 @@ def test_subroot_sharding_dominant_rob_cell(scale):
         )
 
 
-def test_shared_visited_dominant_rob_cell(scale):
-    """Serial default vs serial ``shared_visited`` wall-clock on the same
+def test_shared_visited_dominant_rob_cell(scale, monkeypatch):
+    """Serial vs serial ``shared_visited`` wall-clock on the same
     dominant Fig. 2 ROB cell, quantified over *ordered* secret pairs
     (each root plus its orientation mirror -- Eq. (1) as written).
 
-    The default engine pays for every mirror subtree from scratch;
+    A plain search pays for every mirror subtree from scratch;
     mirror-canonical visited keys collapse them, so shared mode must
     preserve the verdict while strictly reducing explored states -- and
     the wall-clock ratio is the honest measure of what cross-root proof
-    sharing buys on a real sweep cell."""
+    sharing buys on a real sweep cell.  Both legs are pinned to the
+    object engine: shared_visited is defined on object snapshots, and
+    letting the plain leg auto-select a faster engine would turn this
+    record into an engine comparison (the engine-matrix records in
+    BENCH_explorer.json measure that) and hand the perf gate a metric
+    that "regresses" whenever the vector engine improves."""
+    monkeypatch.setenv("REPRO_MC_ENGINE", "object")
     panel = fig2.PANELS[0]
     size = fig2.ROB_SIZES[-1]
     base_task = fig2.point_task(panel, "rob", size, scale)

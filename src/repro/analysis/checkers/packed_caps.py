@@ -36,6 +36,15 @@ products; ``Protocol`` definitions are exempt):
     sets of ``self.*`` state fields -- the packability inference: the
     packed encoding must cover exactly the state the object snapshot
     covers.
+
+``vector-without-packed``
+    ``vector_capable = True`` is declared but neither a
+    ``packed_capable`` declaration nor ``packed_state = True`` is
+    statically resolvable.  The vector engine
+    (:mod:`repro.mc.vector`) memoizes over the packed word layout --
+    ``resolve_engine`` demands both flags -- so a lone
+    ``vector_capable`` over-promises: the class would silently degrade
+    to the packed/object chain at best, or mis-select at worst.
 """
 
 from __future__ import annotations
@@ -87,12 +96,16 @@ def _declares_capability(info: ClassInfo, project: Project) -> bool:
     return False
 
 
-def _packed_state_true(info: ClassInfo, project: Project) -> bool:
+def _attr_true(info: ClassInfo, project: Project, attr: str) -> bool:
     for cls in [info, *_resolved_bases(info, project)]:
-        value = cls.class_attrs.get("packed_state")
+        value = cls.class_attrs.get(attr)
         if value is not None:
             return isinstance(value, ast.Constant) and value.value is True
     return False
+
+
+def _packed_state_true(info: ClassInfo, project: Project) -> bool:
+    return _attr_true(info, project, "packed_state")
 
 
 def _state_attr_reads(fn: ast.AST) -> frozenset[str]:
@@ -162,6 +175,18 @@ class PackedCapsChecker(Checker):
                 continue
 
             packed = _packed_state_true(info, project)
+            if _attr_true(info, project, "vector_capable") and not (
+                packed or _inherited(info, project, "packed_capable")
+            ):
+                findings.append(
+                    file.finding(
+                        info.node, self.id, "vector-without-packed",
+                        f"{name} claims vector_capable = True without a "
+                        "resolvable packed_capable (or packed_state = "
+                        "True); the vector engine memoizes over the "
+                        "packed word layout, so the flag over-promises",
+                    )
+                )
             if packed:
                 for words in ("snapshot_words", "restore_words"):
                     if not _inherited(info, project, words):

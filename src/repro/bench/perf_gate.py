@@ -110,6 +110,11 @@ GATES: dict[str, list[Metric]] = {
             direction="lower",
         ),
     ],
+    "engine-matrix": [
+        # All three engines run serially in one process: throughput.
+        Metric("vector states/s", _path("engines", "vector", "states_per_s")),
+        Metric("vector vs object", _path("vector_vs_object")),
+    ],
     "fuzz-throughput": [
         Metric("programs/s", _path("programs_per_s")),
         Metric("product cycles/s", _path("cycles_per_s")),

@@ -32,6 +32,10 @@ from typing import Any, Callable
 #: Verdict kinds a campaign cell may record.
 KINDS = ("proved", "attack", "timeout")
 
+#: State engines an ``engine_mode`` stamp may name (the three
+#: :func:`repro.mc.packed.resolve_engine` outcomes).
+ENGINE_MODES = ("object", "packed", "vector")
+
 #: Relative slack allowed between a recorded ratio (``speedup``,
 #: ``visited_bytes_ratio``) and its recomputation from the recorded
 #: numerator/denominator -- generous against 3-decimal rounding.
@@ -68,6 +72,12 @@ def _kind(value):
     return None
 
 
+def _engine_mode(value):
+    if value not in ENGINE_MODES:
+        return f"expected one of {ENGINE_MODES}, got {value!r}"
+    return None
+
+
 def _cells(value):
     if not isinstance(value, dict) or not value:
         return "expected a non-empty cell->verdict object"
@@ -85,6 +95,23 @@ def _timing(value):
         leg = value.get(name)
         if not isinstance(leg, _NUM) or isinstance(leg, bool) or leg <= 0:
             return f"field {name!r} must be a positive number, got {leg!r}"
+    return None
+
+
+def _engine_timings(value):
+    """Per-engine timing legs keyed by engine mode; ``vector`` required
+    (the ratio fields divide by it)."""
+    if not isinstance(value, dict) or not value:
+        return "expected a non-empty engine->timing object"
+    for engine, leg in value.items():
+        if engine not in ENGINE_MODES:
+            return f"unknown engine {engine!r} (known: {ENGINE_MODES})"
+        problem = _timing(leg)
+        if problem:
+            return f"engine {engine!r}: {problem}"
+    for engine in ("object", "vector"):
+        if engine not in value:
+            return f"missing the {engine!r} leg"
     return None
 
 
@@ -148,11 +175,21 @@ SCHEMAS: dict[str, dict[str, Callable[[Any], str | None]]] = {
         "cell": _field(dict),
         "kind": _kind,
         "states": _field(int, positive=True),
-        "engine_mode": _field(str),
+        "engine_mode": _engine_mode,
         "legacy": _timing,
         "engine": _timing,
         "speedup": _field(_NUM, positive=True),
         "visited_bytes_ratio": _field(_NUM, positive=True),
+    },
+    "engine-matrix": {
+        "scale": _field(str),
+        "cell": _field(dict),
+        "kind": _kind,
+        "states": _field(int, positive=True),
+        "engine_mode": _engine_mode,
+        "engines": _engine_timings,
+        "vector_vs_object": _field(_NUM, positive=True),
+        "vector_vs_packed": _field(_NUM, positive=True),
     },
     "fuzz-throughput": {
         "config": _field(dict),
@@ -235,6 +272,23 @@ def validate_record(name: str, record: Any) -> list[str]:
                 f"{name}: visited_bytes_ratio {record['visited_bytes_ratio']} "
                 f"inconsistent with recorded footprints ({ratio:.3f})"
             )
+    if experiment == "engine-matrix":
+        engines = record["engines"]
+        for field, denominator in (
+            ("vector_vs_object", "object"),
+            ("vector_vs_packed", "packed"),
+        ):
+            if denominator not in engines:
+                continue
+            expected = (
+                engines["vector"]["states_per_s"]
+                / engines[denominator]["states_per_s"]
+            )
+            if abs(record[field] - expected) > RATIO_SLACK * expected:
+                errors.append(
+                    f"{name}: {field} {record[field]} inconsistent with "
+                    f"recorded states/s ({expected:.3f})"
+                )
     return errors
 
 

@@ -106,6 +106,13 @@ def _check_assumptions(
 class ShadowProduct:
     """Two OoO copies + Contract Shadow Logic (the paper's scheme)."""
 
+    #: The memoizing vector engine (``repro.mc.vector``) understands
+    #: this product's two-copy + shadow structure; it additionally
+    #: requires ``packed_capable`` (machine states intern as packed
+    #: words) and numpy -- :func:`repro.mc.packed.resolve_engine` checks
+    #: all three.
+    vector_capable = True
+
     def __init__(
         self, core_factory, contract: Contract, assumptions=(), gate_fetch=True
     ):
@@ -261,8 +268,11 @@ class BaselineProduct:
 
     #: Honest capability declaration (audited by repro.analysis): the
     #: ISA reference machines have no snapshot_words implementation, so
-    #: the baseline scheme always runs on the object engine.
+    #: the baseline scheme always runs on the object engine.  The vector
+    #: engine's two-copy + shadow structural assumptions do not hold
+    #: here either (four machines, product-level pending queues).
     packed_capable = False
+    vector_capable = False
 
     def __init__(self, core_factory, contract: Contract, assumptions=()):
         cpu0, cpu1 = core_factory(), core_factory()

@@ -219,14 +219,16 @@ class Explorer:
         the sharing crosses worker-process boundaries; it is consulted
         only when ``shared_visited`` is on.
 
-        ``engine`` selects the snapshot representation the DFS interns
-        and restores: ``"object"`` (nested tuples), ``"packed"``
-        (flat tagged-word ``bytes``; see :mod:`repro.mc.packed`), or
-        ``"auto"`` -- packed when the product advertises the capability
-        and visited sharing is off, object otherwise, overridable via
-        ``REPRO_MC_ENGINE``.  Both engines explore bit-identically (the
-        packed encoding preserves snapshot equality exactly); the choice
-        only moves the interning/restore cost.
+        ``engine`` selects the state engine the DFS runs on:
+        ``"object"`` (nested-tuple snapshots), ``"packed"`` (flat
+        tagged-word ``bytes``; see :mod:`repro.mc.packed`), ``"vector"``
+        (memoized stepping over numpy structure-of-arrays; see
+        :mod:`repro.mc.vector`), or ``"auto"`` -- vector when numpy and
+        the product's capability flags allow it and visited sharing is
+        off, degrading to packed and then object otherwise, overridable
+        via ``REPRO_MC_ENGINE``.  All engines explore bit-identically
+        (pinned by ``tests/mc/test_engine_equivalence.py``); the choice
+        only moves the per-state cost.
         """
         self.product = product
         self.space = space
@@ -237,6 +239,14 @@ class Explorer:
         self.visited_filter = visited_filter
         self.engine = resolve_engine(engine, product, shared_visited)
         self._codec = PackedCodec(product) if self.engine == "packed" else None
+        if self.engine == "vector":
+            # Lazy import: the module pulls in numpy, which resolve_engine
+            # guarantees is present exactly when this branch is taken.
+            from repro.mc.vector import VectorEngine
+
+            self._vector = VectorEngine(product)
+        else:
+            self._vector = None
         self._intern = InternTable()
         self._last_visited: set | None = None
         # Root canonicalization for shared mode: sort each root's memory
@@ -268,6 +278,13 @@ class Explorer:
         """Search every root; return proof, first attack, or timeout."""
         stack: list[tuple] = []
         imem_size = self.product.params.imem_size
+        vec = self._vector
+        if vec is not None:
+            for root_index, root in enumerate(self.roots):
+                vec.select_root(root)
+                env = Environment.empty(imem_size)
+                stack.append(vec.seed_node(root_index, env, vec.capture(), 0))
+            return self._search_vector(stack)
         codec = self._codec
         snapshot = codec.snapshot if codec is not None else self.product.snapshot
         for root_index, root in enumerate(self.roots):
@@ -290,6 +307,16 @@ class Explorer:
         if len(self.roots) != 1:
             raise ValueError("seeded search requires exactly one root")
         stack = []
+        vec = self._vector
+        if vec is not None:
+            # Entries carry object-engine snapshots; replay each into the
+            # live product (canonical frame by construction) and intern
+            # the resulting state as dense ids.
+            vec.select_root(self.roots[0])
+            for entry in entries:
+                self.product.restore(entry.snap)
+                stack.append(vec.seed_node(0, entry.env, vec.capture(), entry.depth))
+            return self._search_vector(stack)
         codec = self._codec
         if codec is not None:
             # Frontier entries carry object-engine snapshots (the shard
@@ -395,6 +422,8 @@ class Explorer:
         visited set (``repro.mc.legacy``).  Shared substructure counts
         once -- which is exactly the saving hash-consing buys.
         """
+        if self._vector is not None:
+            return self._vector.footprint()
         visited = self._last_visited if self._last_visited is not None else set()
         seen: set[int] = set()
         total = deep_sizeof(visited, seen)
@@ -569,10 +598,196 @@ class Explorer:
         )
         return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
 
+    def _search_vector(self, stack: list[tuple]) -> Outcome:
+        """The DFS loop on the vector engine (:mod:`repro.mc.vector`).
+
+        Accounting is line-for-line the serial :meth:`_search` loop --
+        same visited-before-budget order, same prune/attack bookkeeping,
+        same ``SearchStats`` -- with three representation swaps: stack
+        nodes are ``(key row, fingerprint, env, depth, state)``, product
+        cycles replay through the engine's memo tables instead of
+        restore + ``step_cycle``, and a node's surviving children push
+        through the vectorized wave filter (which is itself pinned to
+        the serial push order; see the engine docstring).  A node's
+        expansion memoizes as a *summary*: the counter deltas fold once
+        at record time (a replay bumps ``transitions``/``pruned`` in one
+        add instead of re-walking pruned and quiescent records), and
+        only the surviving children and a possible terminal attack keep
+        their environment deltas.  Shared visited mode never reaches
+        here -- ``resolve_engine`` degrades ``vector`` away when sharing
+        is on -- so there is no cross-process filter branch to mirror.
+        """
+        from repro.mc.vector import _MASK64, WIDE_WAVE
+
+        budget = _Budget(self.limits)
+        vec = self._vector
+        visited = vec.visited
+        expansion_key = vec.expansion_key
+        expand_memo = vec._expand_memo
+        memo_get = expand_memo.get
+        transition = vec.transition
+        push_wave = vec.push_wave
+        choices = self._choices
+        roots = self.roots
+        visited_add = visited.add
+        env_ids = vec._env_ids
+        env_setdefault = env_ids.setdefault
+        stack_append = stack.append
+        exhausted = _Budget.exhausted
+        states = transitions = pruned = max_depth = 0
+        prune_reasons: dict[str, int] = {}
+        # Data memories are not part of the interned machine words (they
+        # are constant along a root's subtree), so crossing into another
+        # root's subtree re-resets the product and rebinds the engine's
+        # per-memory memo tables.
+        active_root: int | None = None
+        while stack:
+            row, fp, env, depth, state = stack.pop()
+            if not visited_add(row, fp):
+                continue
+            root_index = row[0]
+            if root_index != active_root:
+                vec.select_root(roots[root_index])
+                active_root = root_index
+            states += 1
+            if depth > max_depth:
+                max_depth = depth
+            if exhausted(budget, states):
+                stats = SearchStats(
+                    states, transitions, pruned, max_depth, prune_reasons, 0
+                )
+                return Outcome(kind=TIMEOUT, elapsed=budget.elapsed(), stats=stats)
+            node_key, requests = expansion_key(state, env)
+            summary = memo_get(node_key)
+            if summary is None:
+                # Memo miss: enumerate choices for real, with the serial
+                # loop's exact accounting, while folding the expansion
+                # into a summary.  An attack truncates the summary at
+                # the failing record -- sound, because a replay fails at
+                # the same point with identical counter deltas and never
+                # needs the missing tail.
+                n_trans = n_pruned = 0
+                reasons: dict[str, int] = {}
+                pushes: list[tuple] = []
+                children: list[tuple] = []
+                for child_env, bundles, slots, preds in choices(
+                    env, requests, deltas=True
+                ):
+                    was_pruned, failed, reason, child, quiescent = transition(
+                        state, bundles
+                    )
+                    n_trans += 1
+                    transitions += 1
+                    if was_pruned:
+                        n_pruned += 1
+                        pruned += 1
+                        reason = reason or "assume"
+                        reasons[reason] = reasons.get(reason, 0) + 1
+                        prune_reasons[reason] = prune_reasons.get(reason, 0) + 1
+                        continue
+                    if failed:
+                        reason = reason or "leakage"
+                        expand_memo[node_key] = (
+                            n_trans, n_pruned, tuple(reasons.items()),
+                            (), (slots, preds, reason),
+                        )
+                        stats = SearchStats(
+                            states, transitions, pruned, max_depth,
+                            prune_reasons, 0,
+                        )
+                        cex = Counterexample(
+                            root_label=roots[root_index].label,
+                            dmem_pair=roots[root_index].dmem_pair,
+                            env=child_env,
+                            depth=depth + 1,
+                            reason=reason,
+                        )
+                        return Outcome(
+                            kind=ATTACK,
+                            elapsed=budget.elapsed(),
+                            stats=stats,
+                            counterexample=cex,
+                        )
+                    if quiescent:
+                        continue  # terminal OK state
+                    pushes.append((slots, preds, child))
+                    children.append((child_env, child))
+                expand_memo[node_key] = (
+                    n_trans, n_pruned, tuple(reasons.items()), pushes, None,
+                )
+                push_wave(root_index, depth + 1, children, stack)
+                continue
+            # Memo hit: replay the summary.  Counter deltas land in one
+            # add each; child environments rebuild only where the search
+            # actually consumes them (a pushed child or a
+            # counterexample), exactly like the serial loop's
+            # statistics.
+            n_trans, n_pruned, reasons_items, pushes, attack = summary
+            transitions += n_trans
+            if n_pruned:
+                pruned += n_pruned
+                for reason, count in reasons_items:
+                    prune_reasons[reason] = prune_reasons.get(reason, 0) + count
+            if attack is not None:
+                slots, preds, reason = attack
+                child_env = env
+                if slots is not None:
+                    child_env = child_env.with_slots(slots)
+                if preds is not None:
+                    child_env = child_env.with_predictions(preds)
+                stats = SearchStats(
+                    states, transitions, pruned, max_depth, prune_reasons, 0
+                )
+                cex = Counterexample(
+                    root_label=roots[root_index].label,
+                    dmem_pair=roots[root_index].dmem_pair,
+                    env=child_env,
+                    depth=depth + 1,
+                    reason=reason,
+                )
+                return Outcome(
+                    kind=ATTACK,
+                    elapsed=budget.elapsed(),
+                    stats=stats,
+                    counterexample=cex,
+                )
+            if len(pushes) < WIDE_WAVE:
+                # Narrow wave, inlined (the dominant shape): the same
+                # push :meth:`repro.mc.vector.VectorEngine.push_wave`
+                # performs, without the call and re-binding overhead.
+                depth1 = depth + 1
+                for slots, preds, child in pushes:
+                    child_env = env
+                    if slots is not None:
+                        child_env = child_env.with_slots(slots)
+                    if preds is not None:
+                        child_env = child_env.with_predictions(preds)
+                    env_id = env_setdefault(child_env, len(env_ids))
+                    crow = (
+                        root_index, env_id, child[0], child[1], child[2],
+                    )
+                    # repro: allow[determinism] int-only row (see fingerprint_row); within-process fingerprint
+                    cfp = hash(crow) & _MASK64 or 1
+                    stack_append((crow, cfp, child_env, depth1, child))
+                continue
+            children = []
+            for slots, preds, child in pushes:
+                child_env = env
+                if slots is not None:
+                    child_env = child_env.with_slots(slots)
+                if preds is not None:
+                    child_env = child_env.with_predictions(preds)
+                children.append((child_env, child))
+            push_wave(root_index, depth + 1, children, stack)
+        stats = SearchStats(
+            states, transitions, pruned, max_depth, prune_reasons, 0
+        )
+        return Outcome(kind=PROVED, elapsed=budget.elapsed(), stats=stats)
+
     # ------------------------------------------------------------------
     # Nondeterministic-choice enumeration
     # ------------------------------------------------------------------
-    def _choices(self, env: Environment, requests):
+    def _choices(self, env: Environment, requests, deltas: bool = False):
         """Yield (extended environment, fetch bundles) for one cycle.
 
         Branches over (a) instructions for symbolic slots fetched this
@@ -581,6 +796,13 @@ class Explorer:
         this generator never touches the product, so the search loop owns
         the restore discipline.  Yield order is bit-identical to the
         legacy engine's (the equivalence contract).
+
+        With ``deltas`` the yield grows to ``(env, bundles, slot map,
+        prediction map)`` -- the exact extension dicts applied to the
+        node environment (``None`` where nothing was concretized).  The
+        vector engine records these on a node-memo miss so a later hit
+        can rebuild every child environment without re-enumerating
+        choices (:meth:`_search_vector`).
         """
         n_slots = len(self.product.machines)
         imem = env.imem
@@ -601,7 +823,12 @@ class Explorer:
         iproduct = itertools.product
         branch_op = Opcode.BRANCH
         for insts in iproduct(self.universe, repeat=len(open_pcs)):
-            env_i = env.with_slots(dict(zip(open_pcs, insts))) if open_pcs else env
+            if open_pcs:
+                slot_map = dict(zip(open_pcs, insts))
+                env_i = env.with_slots(slot_map)
+            else:
+                slot_map = None
+                env_i = env
             imem_i = env_i.imem
             prediction = env_i.prediction
             # Which fetches need a fresh predictor-oracle bit?
@@ -625,11 +852,12 @@ class Explorer:
                 else ((),)
             )
             for bits in bit_sets:
-                env_ip = (
-                    env_i.with_predictions(dict(zip(open_keys, bits)))
-                    if open_keys
-                    else env_i
-                )
+                if open_keys:
+                    pred_map_delta = dict(zip(open_keys, bits))
+                    env_ip = env_i.with_predictions(pred_map_delta)
+                else:
+                    pred_map_delta = None
+                    env_ip = env_i
                 # Direct oracle access (the dict behind env.prediction):
                 # this loop runs once per transition of the whole search.
                 pred_map = env_ip._pred_map
@@ -652,4 +880,7 @@ class Explorer:
                     else:
                         taken = pred_map[(pc, req.occurrence)]
                     bundles[req.slot] = FetchBundle(pc, inst, taken)
-                yield env_ip, bundles
+                if deltas:
+                    yield env_ip, bundles, slot_map, pred_map_delta
+                else:
+                    yield env_ip, bundles

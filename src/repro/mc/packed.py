@@ -43,10 +43,37 @@ Both engines are pinned bit-identical to :mod:`repro.mc.legacy` by
 from __future__ import annotations
 
 import os
+from importlib.util import find_spec
 from struct import Struct
 
-#: Environment variable forcing the engine: ``object`` or ``packed``.
+#: Environment variable forcing the engine: ``object``, ``packed`` or
+#: ``vector``.
 ENGINE_ENV = "REPRO_MC_ENGINE"
+
+#: ``_packers`` cache bound: snapshots of one product cluster around a
+#: handful of ROB occupancies, so a healthy search never approaches
+#: this; if word counts drift per wave (a misdeclared core), the cache
+#: stops growing and odd widths pack uncached instead of accumulating
+#: one ``Struct`` per width forever.
+_MAX_PACKERS = 64
+
+_numpy_present: bool | None = None
+
+
+def numpy_available() -> bool:
+    """Whether numpy is importable (cheap spec probe, cached).
+
+    The vector engine is the only consumer; probing the spec instead of
+    importing keeps engine resolution from paying the numpy import when
+    the answer is only needed to *decline* the vector engine.
+    """
+    global _numpy_present
+    if _numpy_present is None:
+        try:
+            _numpy_present = find_spec("numpy") is not None
+        except (ImportError, ValueError):  # broken/teardown import state
+            _numpy_present = False
+    return _numpy_present
 
 #: 2-bit word tags (low bits).
 TAG_SCALAR = 0
@@ -108,19 +135,29 @@ def decode_word(word: int, values: list):
 
 
 def resolve_engine(requested: str, product, shared_visited: bool) -> str:
-    """Resolve an engine request to ``"object"`` or ``"packed"``.
+    """Resolve an engine request to ``object``, ``packed`` or ``vector``.
 
-    ``auto`` consults :data:`ENGINE_ENV` and otherwise prefers packed.
-    A packed request degrades to the object engine when the product
-    lacks the capability or cross-root visited sharing is on (mirror
-    canonicalization is defined on object snapshots).
+    ``auto`` consults :data:`ENGINE_ENV` and otherwise prefers the
+    vector engine.  Degradation is graceful and chained: a vector
+    request falls back to ``packed`` when numpy is absent, the product
+    is not ``vector_capable``/``packed_capable``, or cross-root visited
+    sharing is on (the memoizing engine keys visited rows per root, and
+    mirror canonicalization is defined on object snapshots); the packed
+    request then applies its own rules and may land on ``object``.
     """
     if requested == "auto":
-        requested = os.environ.get(ENGINE_ENV, "") or "packed"
+        requested = os.environ.get(ENGINE_ENV, "") or "vector"
         if requested == "auto":
-            requested = "packed"
-    if requested not in ("object", "packed"):
+            requested = "vector"
+    if requested not in ("object", "packed", "vector"):
         raise ValueError(f"unknown state engine {requested!r}")
+    if requested == "vector" and (
+        shared_visited
+        or not numpy_available()
+        or not getattr(product, "vector_capable", False)
+        or not getattr(product, "packed_capable", False)
+    ):
+        requested = "packed"
     if requested == "packed" and (
         shared_visited or not getattr(product, "packed_capable", False)
     ):
@@ -139,7 +176,7 @@ class PackedCodec:
     :class:`repro.mc.explorer.Explorer`).
     """
 
-    __slots__ = ("product", "atoms", "_packers")
+    __slots__ = ("product", "atoms", "_packers", "_buffer")
 
     def __init__(self, product):
         if not getattr(product, "packed_capable", False):
@@ -147,28 +184,41 @@ class PackedCodec:
         self.product = product
         self.atoms = AtomTable()
         # struct packers cached per word count (snapshots of one product
-        # cluster around a handful of ROB occupancies).
+        # cluster around a handful of ROB occupancies; bounded by
+        # _MAX_PACKERS against per-wave width drift).
         self._packers: dict[int, Struct] = {}
+        # Reusable word-list buffer: ``snapshot``/``encode`` refill it
+        # in place instead of allocating a fresh list per state (the
+        # seeded-frontier path encodes hundreds of entries back to
+        # back).
+        self._buffer: list[int] = []
+
+    def _packer(self, count: int) -> Struct:
+        packers = self._packers
+        packer = packers.get(count)
+        if packer is None:
+            packer = Struct(f"<{count}q")
+            if len(packers) < _MAX_PACKERS:
+                packers[count] = packer
+        return packer
 
     def snapshot(self) -> bytes:
-        words: list[int] = []
+        words = self._buffer
+        words.clear()
         self.product.snapshot_words(words, self.atoms)
-        packers = self._packers
-        count = len(words)
-        packer = packers.get(count)
-        if packer is None:
-            packer = packers[count] = Struct(f"<{count}q")
-        return packer.pack(*words)
+        return self._packer(len(words)).pack(*words)
 
     def restore(self, blob: bytes) -> None:
-        packers = self._packers
-        count = len(blob) >> 3
-        packer = packers.get(count)
-        if packer is None:
-            packer = packers[count] = Struct(f"<{count}q")
-        self.product.restore_words(packer.unpack(blob), 0, self.atoms)
+        self.product.restore_words(
+            self._packer(len(blob) >> 3).unpack(blob), 0, self.atoms
+        )
 
     def encode(self, object_snap) -> bytes:
-        """Re-encode an object-engine snapshot (seeded-frontier entry)."""
+        """Re-encode an object-engine snapshot (seeded-frontier entry).
+
+        Replays the snapshot into the live product (word layout stays
+        the cores' single source of truth) and packs from the shared
+        buffer -- no per-entry list allocation.
+        """
         self.product.restore(object_snap)
         return self.snapshot()

@@ -74,3 +74,19 @@ class AttrDrift:
 
     def step(self, fetch):
         return None
+
+
+class VectorOverpromise:
+    """Claims the vector engine without the packed layout behind it."""
+
+    packed_state = False
+    vector_capable = True
+
+    def snapshot(self):
+        return (self._m,)
+
+    def restore(self, snap):
+        (self._m,) = snap
+
+    def step_cycle(self):
+        return None

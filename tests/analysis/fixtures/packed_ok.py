@@ -55,3 +55,22 @@ class NotAMachine:
 
     def snapshot(self):
         return ()
+
+
+class VectorProduct:
+    """vector_capable riding on a resolvable packed_capable."""
+
+    vector_capable = True
+
+    @property
+    def packed_capable(self):
+        return True
+
+    def snapshot(self):
+        return (self._m,)
+
+    def restore(self, snap):
+        (self._m,) = snap
+
+    def step_cycle(self):
+        return None

@@ -96,6 +96,7 @@ class TestPackedCaps:
                 ("packed-caps", "missing-words"): 2,
                 ("packed-caps", "snapshot-drift"): 3,
                 ("packed-caps", "words-attr-drift"): 1,
+                ("packed-caps", "vector-without-packed"): 1,
             }
         )
 

@@ -39,15 +39,19 @@ SLICES = {
 }
 
 
+ENGINES = ("object", "packed", "vector")
+
+
 @pytest.mark.parametrize("slice_name", sorted(SLICES))
 def test_new_engine_matches_legacy_bit_for_bit(slice_name, monkeypatch):
-    """Both state engines (object tuples and packed word arrays) must
-    reproduce the legacy search bit for bit, on every slice."""
+    """All three state engines (object tuples, packed word arrays, the
+    numpy vector engine) must reproduce the legacy search bit for bit,
+    on every slice."""
     units = SLICES[slice_name]()
     assert units, slice_name
     for unit in units:
         old = verify_legacy(unit.task)
-        for engine in ("object", "packed"):
+        for engine in ENGINES:
             monkeypatch.setenv("REPRO_MC_ENGINE", engine)
             new = verify(unit.task)
             label = f"{slice_name}:{'/'.join(unit.key)}:{engine}"
@@ -56,11 +60,15 @@ def test_new_engine_matches_legacy_bit_for_bit(slice_name, monkeypatch):
             assert new.counterexample == old.counterexample, label
 
 
-def test_packed_engine_selection_follows_capability(monkeypatch):
-    """The packed engine engages exactly where the capability flag says:
-    shadow products of OoO cores pack, the four-machine baseline and
-    shared-visited searches fall back to the object engine."""
+def test_engine_selection_follows_capability(monkeypatch):
+    """Auto-selection engages each engine exactly where the capability
+    flags say: shadow products of OoO cores take the vector engine (when
+    numpy is importable; the packed engine otherwise), the four-machine
+    baseline and shared-visited searches fall back to the object
+    engine."""
+    from repro.mc import packed
     from repro.mc.explorer import Explorer
+    from repro.mc.packed import numpy_available
 
     monkeypatch.delenv("REPRO_MC_ENGINE", raising=False)
     engines = set()
@@ -71,9 +79,12 @@ def test_packed_engine_selection_follows_capability(monkeypatch):
             product, task.space, task.build_roots(), task.limits,
             shared_visited=task.shared_visited,
         )
-        expected = (
-            "packed" if getattr(product, "packed_capable", False) else "object"
-        )
+        if not getattr(product, "packed_capable", False):
+            expected = "object"
+        elif numpy_available() and getattr(product, "vector_capable", False):
+            expected = "vector"
+        else:
+            expected = "packed"
         assert explorer.engine == expected, unit.key
         engines.add(explorer.engine)
         shared = Explorer(
@@ -82,16 +93,38 @@ def test_packed_engine_selection_follows_capability(monkeypatch):
         )
         assert shared.engine == "object", unit.key
     # The grid exercises both sides of the capability split.
-    assert engines == {"object", "packed"}
+    expected_engines = {"object", "vector" if numpy_available() else "packed"}
+    assert engines == expected_engines
+
+    # Without numpy the vector request degrades to the packed engine --
+    # simulated by blanking the cached availability probe, so this holds
+    # on numpy-equipped CI hosts too.
+    monkeypatch.setattr(packed, "_numpy_present", False)
+    unit = next(
+        u for u in table2.units(QUICK)
+        if getattr(u.task.build_product(), "packed_capable", False)
+    )
+    task = unit.task
+    degraded = Explorer(
+        task.build_product(), task.space, task.build_roots(), task.limits
+    )
+    assert degraded.engine == "packed"
+    monkeypatch.setenv("REPRO_MC_ENGINE", "vector")
+    degraded = Explorer(
+        task.build_product(), task.space, task.build_roots(), task.limits
+    )
+    assert degraded.engine == "packed"
 
 
-def test_seeded_shards_match_legacy_monolith():
-    """Sub-root expansion + seeded shards of the *new* engine, merged in
+@pytest.mark.parametrize("engine", ENGINES)
+def test_seeded_shards_match_legacy_monolith(engine, monkeypatch):
+    """Sub-root expansion + seeded shards of each engine, merged in
     serial LIFO order, still reproduce the legacy monolithic search on a
     single-root fig2 cell (the sub-root scheduler's workload)."""
     from repro.campaign.scheduler import _merge_serial, _prepend_prelude
     from repro.mc.explorer import Explorer
 
+    monkeypatch.setenv("REPRO_MC_ENGINE", engine)
     task = fig2.point_task(fig2.PANELS[0], "rob", 2, QUICK)
     [root] = task.build_roots()[-1:]
     task.roots = [root]
