@@ -129,6 +129,88 @@ def test_explorer_throughput_fig2_rob_cell(scale, rob_size):
 
 
 @pytest.mark.parametrize("rob_size", ROB_SIZES)
+def test_tracing_overhead_fig2_rob_cell(scale, rob_size, tmp_path):
+    """The observability cost ledger: off vs recorder vs JSONL export.
+
+    Three legs of the same cell in one process: tracing off (the
+    shipped default -- every instrumentation point is one ``is None``
+    branch), a live in-memory recorder whose output is discarded
+    (``noop``), and a live recorder exported through the JSONL sink
+    (``jsonl``).  Verdicts and stats are asserted bit-identical across
+    legs -- the "tracing on vs off is bit-identical" contract, measured
+    where the overhead is -- and the ratios land in
+    ``BENCH_explorer.json`` for the perf gate.
+    """
+    from repro import obs
+    from repro.obs import sinks
+
+    task = fig2.point_task(fig2.PANELS[0], "rob", rob_size, scale)
+
+    obs.install(None)
+    off = _measure(Explorer, task)
+    with obs.tracing():
+        noop = _measure(Explorer, task)
+    with obs.tracing() as recorder:
+        jsonl = _measure(Explorer, task)
+    trace_records = sinks.write_jsonl(recorder, tmp_path / "trace.jsonl")
+
+    off_outcome, off_s, off_keys, off_bytes, mode = off
+    for label, leg in (("noop", noop), ("jsonl", jsonl)):
+        outcome = leg[0]
+        assert outcome.kind == off_outcome.kind, label
+        assert outcome.stats == off_outcome.stats, label
+        assert outcome.counterexample == off_outcome.counterexample, label
+        assert leg[2] == off_keys, label
+
+    states = off_outcome.stats.states
+
+    def _leg(measured):
+        _, elapsed, keys, visited_bytes, _ = measured
+        return {
+            "elapsed_s": round(elapsed, 3),
+            "states_per_s": round(states / elapsed, 1),
+            "visited_keys": keys,
+            "visited_bytes": visited_bytes,
+        }
+
+    legs = {"off": _leg(off), "noop": _leg(noop), "jsonl": _leg(jsonl)}
+    overhead_noop = legs["off"]["states_per_s"] / legs["noop"]["states_per_s"]
+    overhead_jsonl = legs["off"]["states_per_s"] / legs["jsonl"]["states_per_s"]
+    record = {
+        "experiment": "tracing-overhead",
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "cell": {"panel": fig2.PANELS[0].key, "structure": "rob", "size": rob_size},
+        "kind": off_outcome.kind,
+        "states": states,
+        "engine_mode": mode,
+        "off": legs["off"],
+        "noop": legs["noop"],
+        "jsonl": legs["jsonl"],
+        "overhead_noop": round(overhead_noop, 3),
+        "overhead_jsonl": round(overhead_jsonl, 3),
+        "trace_records": trace_records,
+    }
+    update_bench_record(BENCH_RECORD, f"fig2-rob{rob_size}-tracing{_SUFFIX}", record)
+    print()
+    print(
+        f"tracing overhead (ROB-{rob_size}): off "
+        f"{legs['off']['states_per_s']:.0f} st/s, noop recorder "
+        f"{overhead_noop:.3f}x, JSONL sink {overhead_jsonl:.3f}x "
+        f"({trace_records} trace records) -> {BENCH_RECORD.name}"
+    )
+
+    # The smoke cell finishes in tens of milliseconds -- pure timer
+    # noise; the real cells guard the near-zero-cost promise (generous
+    # against frequency scaling between legs).
+    if rob_size >= 4:
+        assert overhead_jsonl < 1.25, (
+            f"tracing overhead grew to {overhead_jsonl:.2f}x on the "
+            f"ROB-{rob_size} cell"
+        )
+
+
+@pytest.mark.parametrize("rob_size", ROB_SIZES)
 def test_engine_matrix_fig2_rob_cell(scale, rob_size, monkeypatch):
     """Vector-vs-packed-vs-object on one cell, same process, same task.
 

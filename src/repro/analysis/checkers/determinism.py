@@ -40,6 +40,14 @@ probabilistically.  The rules:
     (``random.random()``, ``random.choice()``, ...).  The global stream
     is shared mutable state: any other consumer reorders every draw.
     Seed a local ``random.Random(derive_seed(...))`` instead.
+
+``direct-clock``
+    A function-scope ``time.*()`` clock read.  All wall/monotonic reads
+    belong behind :mod:`repro.obs.clock` (same call cost, rebindable
+    module globals): tests inject deterministic clocks through one seam,
+    and trace timestamps stay mutually consistent.  ``repro/obs/clock.py``
+    itself carries the file waiver -- it is the one sanctioned caller of
+    ``time``; the frozen legacy engine keeps per-line waivers.
 """
 
 from __future__ import annotations
@@ -196,18 +204,24 @@ class _Visitor(ast.NodeVisitor):
                         "derive_seed(...)) instead",
                     )
                 )
-            elif (
-                not self.func_stack
-                and module == "time"
-                and attr in _CLOCKS
-            ):
-                self.findings.append(
-                    self.file.finding(
-                        node, "determinism", "import-time-input",
-                        f"module-scope time.{attr}() read captures "
-                        "import-order-dependent state",
+            elif module == "time" and attr in _CLOCKS:
+                if not self.func_stack:
+                    self.findings.append(
+                        self.file.finding(
+                            node, "determinism", "import-time-input",
+                            f"module-scope time.{attr}() read captures "
+                            "import-order-dependent state",
+                        )
                     )
-                )
+                else:
+                    self.findings.append(
+                        self.file.finding(
+                            node, "determinism", "direct-clock",
+                            f"direct time.{attr}() read; route clock reads "
+                            "through repro.obs.clock (injectable for tests, "
+                            "consistent trace timestamps)",
+                        )
+                    )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

@@ -64,6 +64,13 @@ WIRE_ROOTS = (
     "ProbeResult",
     "Outcome",
     "CoreSpec",
+    # The observability layer's ``spans`` frame and traced-result
+    # wrapper (repro.obs.recorder): batches cross the same pools and
+    # sockets the results do.
+    "SpanBatch",
+    "SpanRecord",
+    "EventRecord",
+    "TracedOutcome",
 )
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")

@@ -115,6 +115,12 @@ GATES: dict[str, list[Metric]] = {
         Metric("vector states/s", _path("engines", "vector", "states_per_s")),
         Metric("vector vs object", _path("vector_vs_object")),
     ],
+    "tracing-overhead": [
+        Metric("untraced states/s", _path("off", "states_per_s")),
+        # Overhead multipliers: lower is better, ~1.0 is the promise.
+        Metric("noop overhead", _path("overhead_noop"), direction="lower"),
+        Metric("jsonl overhead", _path("overhead_jsonl"), direction="lower"),
+    ],
     "fuzz-throughput": [
         Metric("programs/s", _path("programs_per_s")),
         Metric("product cycles/s", _path("cycles_per_s")),

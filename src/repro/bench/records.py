@@ -191,6 +191,19 @@ SCHEMAS: dict[str, dict[str, Callable[[Any], str | None]]] = {
         "vector_vs_object": _field(_NUM, positive=True),
         "vector_vs_packed": _field(_NUM, positive=True),
     },
+    "tracing-overhead": {
+        "scale": _field(str),
+        "cell": _field(dict),
+        "kind": _kind,
+        "states": _field(int, positive=True),
+        "engine_mode": _engine_mode,
+        "off": _timing,
+        "noop": _timing,
+        "jsonl": _timing,
+        "overhead_noop": _field(_NUM, positive=True),
+        "overhead_jsonl": _field(_NUM, positive=True),
+        "trace_records": _field(int, positive=True),
+    },
     "fuzz-throughput": {
         "config": _field(dict),
         "programs": _field(int, positive=True),
@@ -272,6 +285,19 @@ def validate_record(name: str, record: Any) -> list[str]:
                 f"{name}: visited_bytes_ratio {record['visited_bytes_ratio']} "
                 f"inconsistent with recorded footprints ({ratio:.3f})"
             )
+    if experiment == "tracing-overhead":
+        for field, leg in (
+            ("overhead_noop", "noop"),
+            ("overhead_jsonl", "jsonl"),
+        ):
+            expected = (
+                record["off"]["states_per_s"] / record[leg]["states_per_s"]
+            )
+            if abs(record[field] - expected) > RATIO_SLACK * expected:
+                errors.append(
+                    f"{name}: {field} {record[field]} inconsistent with "
+                    f"recorded states/s ({expected:.3f})"
+                )
     if experiment == "engine-matrix":
         engines = record["engines"]
         for field, denominator in (

@@ -37,8 +37,10 @@ from repro.bench import ablation, fig2
 from repro.bench.configs import QUICK
 from repro.campaign.cli import (
     add_backend_arguments,
+    add_trace_argument,
     backend_from_args,
     close_backend,
+    trace_to,
 )
 from repro.campaign.log import CampaignLog
 from repro.campaign.registry import core_spec
@@ -133,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         help="shared campaign wall-clock budget in seconds",
     )
     add_backend_arguments(parser)
+    add_trace_argument(parser)
     args = parser.parse_args(argv)
     if args.units in FUZZ_PRESETS:
         # Random-testing grids run through the fuzz driver: forward the
@@ -154,6 +157,8 @@ def main(argv: list[str] | None = None) -> int:
             forwarded += ["--spawn", str(args.spawn)]
         if args.min_workers is not None:
             forwarded += ["--min-workers", str(args.min_workers)]
+        if args.trace:
+            forwarded += ["--trace", args.trace]
         return fuzz_main(forwarded)
     build_units, expected = GRIDS[args.units]
     units = build_units()
@@ -172,11 +177,12 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     try:
-        if args.log:
-            with open(args.log, "w", encoding="utf-8") as handle:
-                results = _run(CampaignLog(handle))
-        else:
-            results = _run(None)
+        with trace_to(args.trace):
+            if args.log:
+                with open(args.log, "w", encoding="utf-8") as handle:
+                    results = _run(CampaignLog(handle))
+            else:
+                results = _run(None)
     finally:
         close_backend(backend)
     failures = 0

@@ -45,10 +45,11 @@ send time -- absolute monotonic clocks do not agree across hosts).
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
+from repro import obs
+from repro.obs import clock
 from repro.mc.result import TIMEOUT, Outcome, SearchStats
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep workers light
@@ -237,8 +238,16 @@ class WorkItem:
         (mirroring the serial path's pre-unit deadline check).
         """
         deadline = self.limits.deadline
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and clock.monotonic() >= deadline:
             return budget_outcome()
+        with obs.span(
+            "shard.run",
+            fuzz=self.fuzz is not None,
+            entries=0 if self.entries is None else len(self.entries),
+        ):
+            return self._execute()
+
+    def _execute(self) -> Outcome:
         if self.fuzz is not None:
             return self.fuzz.run()
         task = self.task

@@ -41,10 +41,11 @@ import select
 import socket
 import subprocess
 import sys
-import time
 from collections import deque
 from typing import Iterator
 
+from repro import obs
+from repro.obs import clock
 from repro.campaign.backends.base import (
     ExecutionBackend,
     ShardFailure,
@@ -82,7 +83,7 @@ class _WorkerConn:
         self.label = f"{addr[0]}:{addr[1]}"
         self.inflight: set[int] = set()
         self.buffer = bytearray()
-        self.last_seen = time.monotonic()
+        self.last_seen = clock.monotonic()
         #: Spec fingerprints this agent has been shipped inline; later
         #: shards of the same unit cross as bare fingerprints (the agent
         #: caches specs and warms its own pool children).  Dies with the
@@ -114,7 +115,7 @@ class _WorkerConn:
             # worker mid-transfer of one large result frame (heartbeats
             # cannot interleave on the stream) must not be reaped as
             # silent and have its shard requeued in a livelock.
-            self.last_seen = time.monotonic()
+            self.last_seen = clock.monotonic()
         try:
             # Until the token handshake succeeds, only JSON control
             # frames decode -- an untrusted peer's bytes must never
@@ -208,9 +209,9 @@ class SocketClusterBackend(ExecutionBackend):
 
     def wait_for_workers(self, n: int, timeout: float = 60.0) -> None:
         """Block until ``n`` worker slots are connected and authenticated."""
-        deadline = time.monotonic() + timeout
+        deadline = clock.monotonic() + timeout
         while self.capacity() < n:
-            if time.monotonic() >= deadline:
+            if clock.monotonic() >= deadline:
                 raise TimeoutError(
                     f"only {self.capacity()}/{n} worker slots connected "
                     f"within {timeout:.0f}s (listening on "
@@ -301,7 +302,7 @@ class SocketClusterBackend(ExecutionBackend):
             readable, _, _ = select.select(readable_from, [], [], timeout)
         except (OSError, ValueError):
             readable = []  # a conn died under select; the reap pass finds it
-        now = time.monotonic()
+        now = clock.monotonic()
         for source in readable:
             if source is self._listener:
                 self._accept_new()
@@ -324,7 +325,7 @@ class SocketClusterBackend(ExecutionBackend):
 
     def _expire_queued(self) -> None:
         """Budget-synthesize outcomes for queued work past the deadline."""
-        if self._deadline is None or time.monotonic() < self._deadline:
+        if self._deadline is None or clock.monotonic() < self._deadline:
             return
         while self._queue:
             ticket = self._queue.popleft()
@@ -359,6 +360,20 @@ class SocketClusterBackend(ExecutionBackend):
             return
         if kind == "result":
             self._take_result(conn, payload["ticket"], payload["outcome"])
+        elif kind == "spans":
+            # Worker-side trace spans, sent right behind their result.
+            # The worker stamped its own monotonic ``sent`` instant;
+            # receipt-minus-sent folds clock skew plus one-way latency
+            # into one per-batch offset, re-anchoring the span
+            # timestamps on the coordinator's clock (same-host agents:
+            # sub-millisecond error).  Pure observability -- stale or
+            # discarded tickets' spans still merge, results never do.
+            recorder = obs.recorder()
+            if recorder is not None:
+                offset = clock.monotonic() - payload["sent"]
+                recorder.absorb(
+                    payload["batch"], offset=offset, worker=conn.label
+                )
         elif kind == "error":
             # A raising shard is deterministic -- requeueing would fail
             # identically elsewhere -- so deliver a ShardFailure and let
@@ -413,7 +428,9 @@ class SocketClusterBackend(ExecutionBackend):
                 item = self._items[ticket]
                 fp = item.spec_fp
                 with_spec = fp is not None and fp not in conn.seen_specs
-                env = make_envelope(item, with_spec=with_spec)
+                env = make_envelope(
+                    item, with_spec=with_spec, trace=obs.enabled()
+                )
                 try:
                     send_frame(conn.sock, *pack_task(ticket, env))
                 except WireError:

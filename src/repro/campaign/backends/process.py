@@ -36,6 +36,8 @@ from repro.campaign.backends.specs import (
     execute_envelope,
     make_envelope,
 )
+from repro import obs
+from repro.obs.recorder import TracedOutcome
 from repro.mc.result import Outcome
 
 
@@ -65,12 +67,13 @@ class ProcessPoolBackend(ExecutionBackend):
         return len(self._futures)
 
     def _wrap(self, item: WorkItem) -> ShardEnvelope:
+        trace = obs.enabled()
         fp = item.spec_fp
         if fp is None or item.task is None:
-            return make_envelope(item, with_spec=False)
+            return make_envelope(item, with_spec=False, trace=trace)
         sent = self._spec_sent.get(fp, 0)
         with_spec = sent < self._max_workers
-        env = make_envelope(item, with_spec=with_spec)
+        env = make_envelope(item, with_spec=with_spec, trace=trace)
         if with_spec:
             self._spec_sent[fp] = sent + 1
             self._specs.setdefault(fp, env.spec)
@@ -111,6 +114,14 @@ class ProcessPoolBackend(ExecutionBackend):
                     # a raising serially-dead shard must not abort runs
                     # the serial engine would have completed.
                     outcome = ShardFailure(repr(exc))
+                if isinstance(outcome, TracedOutcome):
+                    # Unwrap before any result inspection.  Pool children
+                    # share the host's CLOCK_MONOTONIC, so the batch
+                    # merges with no offset correction.
+                    recorder = obs.recorder()
+                    if recorder is not None:
+                        recorder.absorb(outcome.batch)
+                    outcome = outcome.outcome
                 if isinstance(outcome, SpecMiss):
                     # A cold child drew a bare-fingerprint shard: retry
                     # the same ticket with the spec attached.

@@ -27,12 +27,15 @@ items (the campaign bit-identity contract is untouched).
 
 from __future__ import annotations
 
+import os
 import pickle
 from dataclasses import dataclass, replace
 from hashlib import blake2b
 from typing import TYPE_CHECKING, Any
 
+from repro import obs
 from repro.campaign.backends.base import WorkItem
+from repro.obs.recorder import Recorder, TracedOutcome
 
 if TYPE_CHECKING:
     from repro.core.verifier import VerificationTask
@@ -101,6 +104,11 @@ class ShardEnvelope:
     spec: "VerificationTask | None" = None
     roots: Any = None
     limits: Any = None
+    #: Whether the dispatching campaign is tracing: the executor then
+    #: records the shard onto a scoped recorder and returns a
+    #: :class:`repro.obs.recorder.TracedOutcome` so the spans ride home
+    #: with the result.  Pure observability -- never affects outcomes.
+    trace: bool = False
 
     def unit_limits(self):
         """The shard's ``SearchLimits`` (wire deadline translation)."""
@@ -120,15 +128,19 @@ class ShardEnvelope:
         return replace(self, item=item)
 
 
-def make_envelope(item: WorkItem, *, with_spec: bool) -> ShardEnvelope:
+def make_envelope(
+    item: WorkItem, *, with_spec: bool, trace: bool = False
+) -> ShardEnvelope:
     """Wrap one item for dispatch.
 
     Items without a ``spec_fp`` (or without a task at all) wrap as plain
     envelopes; spec-backed items are split, shipping the spec inline iff
     ``with_spec`` (the receiver has not seen this fingerprint yet).
+    ``trace`` stamps the envelope's tracing flag (see
+    :class:`ShardEnvelope`).
     """
     if item.spec_fp is None or item.task is None:
-        return ShardEnvelope(item=item)
+        return ShardEnvelope(item=item, trace=trace)
     spec, roots, limits = split_spec(item.task)
     return ShardEnvelope(
         item=replace(item, task=None),
@@ -136,6 +148,7 @@ def make_envelope(item: WorkItem, *, with_spec: bool) -> ShardEnvelope:
         spec=spec if with_spec else None,
         roots=roots,
         limits=limits,
+        trace=trace,
     )
 
 
@@ -150,7 +163,12 @@ def execute_envelope(env: ShardEnvelope):
     """Rehydrate and run one shard; the pools' pickle-by-reference entry.
 
     Returns the shard's outcome, or :class:`SpecMiss` when the envelope
-    referenced a fingerprint this process has never been shipped.
+    referenced a fingerprint this process has never been shipped.  A
+    traced envelope (``env.trace``) instead returns the outcome wrapped
+    in a :class:`repro.obs.recorder.TracedOutcome` carrying the spans
+    the shard recorded -- the dispatching side unwraps *before* any
+    result inspection, so the spec-miss retry and every verdict path see
+    exactly what an untraced run would.
     """
     item = env.item
     if env.spec_fp is not None:
@@ -162,4 +180,12 @@ def execute_envelope(env: ShardEnvelope):
             if spec is None:
                 return SpecMiss(env.spec_fp)
         item = replace(item, task=join_spec(spec, env.roots, env.limits))
-    return item.run()
+    if not env.trace:
+        return item.run()
+    recorder = Recorder(worker=f"pid{os.getpid()}")
+    previous = obs.install(recorder)
+    try:
+        outcome = item.run()
+    finally:
+        obs.install(previous)
+    return TracedOutcome(outcome, recorder.batch())

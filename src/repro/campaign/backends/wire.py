@@ -15,6 +15,13 @@ frame                   direction / meaning
                         (spec inline on a worker's first sight of a
                         fingerprint, bare fingerprint thereafter)
 ``result``              worker -> coordinator: ``{ticket, outcome}``
+``spans``               worker -> coordinator: ``{ticket, batch, sent}`` --
+                        trace spans a traced shard recorded
+                        (:class:`repro.obs.recorder.SpanBatch`), sent right
+                        after the shard's ``result`` frame; ``sent`` is the
+                        worker's own monotonic send instant, from which the
+                        coordinator derives a clock-offset correction.
+                        Observability only: losing one never affects results
 ``error``               worker -> coordinator: ``{ticket, message}`` -- the
                         shard raised; deterministic, so it is *not* requeued
 ``heartbeat``           worker -> coordinator: liveness while computing
@@ -48,12 +55,12 @@ import pickle
 import select
 import socket
 import struct
-import time
 from dataclasses import replace
 from typing import Any
 
 from repro.campaign.backends.base import WorkItem
 from repro.campaign.backends.specs import ShardEnvelope
+from repro.obs import clock
 
 #: Refuse frames beyond this (a corrupt length prefix would otherwise
 #: allocate unbounded memory before pickle even looks at the payload).
@@ -95,12 +102,12 @@ def _send_all(sock: socket.socket, blob: bytes, timeout: float) -> None:
     writability wait instead, bounded by ``timeout``.
     """
     view = memoryview(blob)
-    deadline = time.monotonic() + timeout
+    deadline = clock.monotonic() + timeout
     while view.nbytes:
         try:
             sent = sock.send(view)
         except (BlockingIOError, InterruptedError):
-            remaining = deadline - time.monotonic()
+            remaining = deadline - clock.monotonic()
             if remaining <= 0:
                 raise WireError(f"send stalled for {timeout:.0f}s") from None
             select.select([], [sock], [], min(0.2, remaining))
@@ -214,7 +221,7 @@ def pack_task(
     limits = env.unit_limits()
     deadline_left = None
     if limits is not None and limits.deadline is not None:
-        deadline_left = max(0.0, limits.deadline - time.monotonic())
+        deadline_left = max(0.0, limits.deadline - clock.monotonic())
         env = env.with_limits(replace(limits, deadline=None))
     if env.item.filter_name is not None:
         env = replace(env, item=replace(env.item, filter_name=None))
@@ -227,7 +234,7 @@ def unpack_task(payload: dict[str, Any]) -> tuple[int, "ShardEnvelope"]:
     deadline_left = payload.get("deadline_left")
     if deadline_left is not None:
         limits = replace(
-            env.unit_limits(), deadline=time.monotonic() + deadline_left
+            env.unit_limits(), deadline=clock.monotonic() + deadline_left
         )
         env = env.with_limits(limits)
     return payload["ticket"], env

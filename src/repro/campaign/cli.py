@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import contextmanager
 
 from repro.campaign.backends import (
     BACKEND_NAMES,
@@ -98,3 +99,40 @@ def close_backend(backend) -> None:
     """Close a backend instance built by :func:`backend_from_args`."""
     if isinstance(backend, ExecutionBackend):
         backend.close()
+
+
+def add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--trace FILE`` observability flag."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a structured trace (repro.obs) and write it as JSONL "
+        "to FILE; render with python -m repro.bench.report --trace FILE "
+        "or python -m repro.obs.report FILE",
+    )
+
+
+@contextmanager
+def trace_to(path: str | None):
+    """Record a campaign trace around a CLI run, written at exit.
+
+    ``None`` is a true no-op (no recorder installed -- the traced-off
+    fast path).  Otherwise a recorder spans the block, and on the way
+    out the trace JSONL lands at ``path`` -- including the metrics
+    snapshot of whatever campaign ran last inside the block (the
+    registry ``run_campaign``/``run_fuzz`` re-pointed).  The write runs
+    in a ``finally`` so an interrupted campaign still keeps its trace.
+    """
+    if not path:
+        yield
+        return
+    from repro import obs
+    from repro.obs import metrics, sinks
+
+    with obs.tracing() as recorder:
+        try:
+            yield
+        finally:
+            count = sinks.write_jsonl(
+                recorder, path, registry=metrics.LAST_REGISTRY
+            )
+            print(f"trace: {count} records -> {path}", file=sys.stderr)

@@ -130,10 +130,17 @@ from __future__ import annotations
 
 import math
 import pickle
-import time
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro import obs
+from repro.obs import clock
+from repro.obs.metrics import (
+    MetricsRegistry,
+    fill_telemetry,
+    log_bucket_boundaries,
+    new_registry,
+)
 from repro.campaign.backends import (
     BACKEND_NAMES,
     BUDGET_NOTE,
@@ -186,6 +193,14 @@ class CampaignTelemetry:
     process-global convenience alias of the most recent campaign's
     object; it is re-pointed (never mutated in place) at the start of
     every ``run_campaign``, so counters can no longer leak across runs.
+
+    Since the ``repro.obs`` layer landed this dataclass is a
+    *compatibility shim*: the scheduler counts into the campaign's
+    :class:`repro.obs.metrics.MetricsRegistry` (the superset --
+    histograms and time series live only there, see
+    ``repro.obs.metrics.LAST_REGISTRY``), and these fields are filled
+    from the registry when the campaign ends
+    (:func:`repro.obs.metrics.fill_telemetry`).
     """
 
     backend: str = ""
@@ -274,6 +289,11 @@ class _Calibration:
 
 #: The process-wide calibration state (see :class:`_Calibration`).
 _CALIBRATION = _Calibration()
+
+#: Grain-error histogram buckets: measured/predicted state ratios from
+#: 0.001x to 1000x, four log buckets per decade.  A well-calibrated
+#: planner concentrates mass around the 1.0 boundary.
+_GRAIN_ERROR_BUCKETS = log_bucket_boundaries(-3, 3, 4)
 
 
 def _plan_batches(weights: Sequence[int], n_batches: int) -> list[tuple[int, int]]:
@@ -623,28 +643,35 @@ def run_campaign(
     units = list(units)
     if subroot not in SUBROOT_MODES:
         raise ValueError(f"subroot must be one of {SUBROOT_MODES}")
-    deadline = None if budget_s is None else time.monotonic() + budget_s
+    deadline = None if budget_s is None else clock.monotonic() + budget_s
     backend_obj, owned, capacity = _resolve_backend(backend, n_workers)
     # One telemetry object per campaign, shared by every result of the
     # run; the process-global alias is re-pointed (not mutated) so a
-    # previous campaign's counters can never bleed into this one.
+    # previous campaign's counters can never bleed into this one.  The
+    # registry is the counters' source of truth; the telemetry shim is
+    # filled from it when the campaign ends.
     global LAST_TELEMETRY
     telemetry = CampaignTelemetry(capacity=capacity)
     LAST_TELEMETRY = telemetry
+    registry = new_registry()
     if log is not None:
         log.header(experiment, capacity, len(units))
     # Results stream to the log in submission order as units finalize
     # (each record is flushed), so an interrupted campaign keeps every
     # completed prefix for --from-log re-rendering.
     sink = _ResultSink(units, log)
-    if backend is None and capacity == 1:
-        telemetry.backend = "serial"
-        outcomes = _run_serial(units, deadline, sink)
-    else:
-        outcomes = _run_sharded(
-            units, backend_obj, owned, capacity, deadline, sink, subroot,
-            rebalance, telemetry,
-        )
+    try:
+        with obs.span("campaign", experiment=experiment, units=len(units)):
+            if backend is None and capacity == 1:
+                telemetry.backend = "serial"
+                outcomes = _run_serial(units, deadline, sink)
+            else:
+                outcomes = _run_sharded(
+                    units, backend_obj, owned, capacity, deadline, sink,
+                    subroot, rebalance, telemetry, registry,
+                )
+    finally:
+        fill_telemetry(telemetry, registry)
     return [
         CampaignResult(unit.experiment, unit.key, outcome, telemetry)
         for unit, outcome in zip(units, outcomes)
@@ -665,10 +692,15 @@ def _run_serial(
 ) -> list[Outcome]:
     outcomes: list[Outcome] = []
     for index, unit in enumerate(units):
-        if deadline is not None and time.monotonic() >= deadline:
+        key = "/".join(unit.key)
+        if deadline is not None and clock.monotonic() >= deadline:
             outcome = _budget_outcome()
         else:
-            outcome = verify(_stamp_deadline(unit.task, deadline))
+            with obs.span("unit", unit=key):
+                outcome = verify(_stamp_deadline(unit.task, deadline))
+        obs.event(
+            "unit.done", unit=key, kind=outcome.kind, elapsed=outcome.elapsed
+        )
         outcomes.append(outcome)
         sink.offer(index, outcome)
     return outcomes
@@ -744,6 +776,7 @@ def _run_sharded(
     subroot: str,
     rebalance: bool,
     telemetry: CampaignTelemetry,
+    registry: MetricsRegistry,
 ) -> list[Outcome]:
     for unit in units:
         _check_picklable(unit)
@@ -782,7 +815,7 @@ def _run_sharded(
     # campaign-wide floor keeping total shard count >= ~2x capacity so
     # small grids still fill every worker (with slack for stragglers).
     grain = _CALIBRATION.grain_states()
-    telemetry.grain_states = grain
+    registry.gauge("campaign.grain_states").set(grain)
     n_split_roots = sum(
         len(state.slots) for state in states if split[state.index]
     )
@@ -806,6 +839,12 @@ def _run_sharded(
         if merged is None:
             return False
         state.final = merged
+        obs.event(
+            "unit.done",
+            unit="/".join(state.unit.key),
+            kind=merged.kind,
+            elapsed=merged.elapsed,
+        )
         for ticket in state.tickets:
             cancel_ticket(ticket)
         # The filter is useless once the unit's verdict is merged; free
@@ -835,9 +874,15 @@ def _run_sharded(
         predicted: int = 0,
     ) -> int:
         ticket = backend.submit_unit(item)
-        telemetry.shards += 1
+        registry.counter("campaign.shards").inc()
+        obs.event(
+            "shard.submit",
+            ticket=ticket,
+            unit="/".join(state.unit.key),
+            predicted=predicted,
+        )
         owner[ticket] = (state, root_pos, sub_pos, steal_idx)
-        submitted[ticket] = time.monotonic()
+        submitted[ticket] = clock.monotonic()
         if predicted:
             predictions[ticket] = predicted
         state.tickets.append(ticket)
@@ -862,11 +907,14 @@ def _run_sharded(
             ),
             reverse=True,
         )
+        rec = obs.recorder()
         for state in plan_order:
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and clock.monotonic() >= deadline:
                 state.final = _budget_outcome()
                 sink.offer(state.index, state.final)
                 continue
+            if rec is not None:
+                plan_t0 = clock.monotonic()
             if state.unit.task.shared_visited:
                 state.vfilter = backend.make_filter(
                     _filter_capacity(
@@ -938,6 +986,14 @@ def _run_sharded(
                             sub_pos,
                             predicted=sum(weights[start:end]),
                         )
+            if rec is not None:
+                # The planner's in-process expansions are dispatch
+                # stalls the timeline should show; one pre-timed span
+                # per unit keeps the loop free of context managers.
+                rec.add_span(
+                    "plan", plan_t0, clock.monotonic(),
+                    unit="/".join(state.unit.key),
+                )
             # Zero-root tasks and units fully settled while planning
             # (first-cycle attacks, empty frontiers) finalize immediately.
             if try_finalize(state):
@@ -951,11 +1007,33 @@ def _run_sharded(
                 and isinstance(outcome, Outcome)
                 and not outcome.timed_out
             ):
+                # Engine-level series: measured throughput over time and
+                # the batch grain error -- measured states against the
+                # EWMA-corrected prediction the batch was sized with
+                # (observed *before* this sample moves the correction).
+                if outcome.elapsed > 0 and outcome.stats.states > 0:
+                    registry.time_series("campaign.states_per_s").add(
+                        clock.monotonic(),
+                        outcome.stats.states / outcome.elapsed,
+                    )
+                    corrected = _CALIBRATION.corrected(predicted)
+                    if corrected > 0:
+                        registry.histogram(
+                            "campaign.grain_error", _GRAIN_ERROR_BUCKETS
+                        ).observe(outcome.stats.states / corrected)
                 # Feed the measured runtime back into the cost model
                 # (timeouts excluded: their state counts are truncated,
                 # which would bias the correction low).
                 _CALIBRATION.observe(
                     predicted, outcome.stats.states, outcome.elapsed
+                )
+            if isinstance(outcome, Outcome):
+                obs.event(
+                    "shard.done",
+                    ticket=ticket,
+                    kind=outcome.kind,
+                    states=outcome.stats.states,
+                    elapsed=outcome.elapsed,
                 )
             if info is None:
                 continue  # cancelled or superseded: a stale result
@@ -974,7 +1052,7 @@ def _run_sharded(
                     f"failed: {outcome.message}"
                 )
             _record_outcome(
-                slot, sub_pos, steal_idx, outcome, cancel_ticket, telemetry
+                slot, sub_pos, steal_idx, outcome, cancel_ticket, registry
             )
             if try_finalize(state):
                 sink.offer(state.index, state.final)
@@ -984,7 +1062,7 @@ def _run_sharded(
                 _maybe_steal(
                     backend, owner, submitted, predictions, deadline,
                     submit, try_finalize, cancel_if_decided, cancel_ticket,
-                    sink, telemetry,
+                    sink, registry,
                 )
         for state in states:
             if state.final is None:  # every shard cancelled under it
@@ -1043,7 +1121,7 @@ def _record_outcome(
     steal_idx: int | None,
     outcome: Outcome,
     cancel_ticket,
-    telemetry: CampaignTelemetry,
+    registry: MetricsRegistry,
 ) -> None:
     """Fold one shard outcome into its slot (original or steal racer)."""
     if sub_pos is None:
@@ -1069,7 +1147,8 @@ def _record_outcome(
         return
     slot.sub_outcomes[sub_pos] = composed
     del slot.groups[sub_pos]
-    telemetry.steal_won += 1
+    registry.counter("campaign.steal_won").inc()
+    obs.event("steal.won", batch=sub_pos)
     cancel_ticket(slot.sub_tickets[sub_pos])  # the out-raced original
     for ticket in group.tickets:
         cancel_ticket(ticket)
@@ -1086,7 +1165,7 @@ def _maybe_steal(
     cancel_if_decided,
     cancel_ticket,
     sink: _ResultSink,
-    telemetry: CampaignTelemetry,
+    registry: MetricsRegistry,
 ) -> None:
     """Re-split the predicted-largest in-flight batch when capacity idles.
 
@@ -1099,7 +1178,7 @@ def _maybe_steal(
     the historical steal.  At most one steal per completion event keeps
     the in-process cost bounded.
     """
-    if deadline is not None and time.monotonic() >= deadline:
+    if deadline is not None and clock.monotonic() >= deadline:
         return
     if backend.capacity() - backend.outstanding() < 1:
         # No genuinely idle slots (the backend counts cancelled-but-
@@ -1141,7 +1220,10 @@ def _maybe_steal(
         # Batch re-split: race the batch against one shard per entry.
         # Their serial merge is the batch's own ``run_seeded`` replay,
         # so no prelude and no in-process expansion is involved.
-        telemetry.steals += 1
+        registry.counter("campaign.steals").inc()
+        obs.event(
+            "steal", unit="/".join(state.unit.key), entries=len(entries)
+        )
         width = _frontier_width(state.unit.task)
         group = _StealGroup(None, count=len(entries))
         slot.groups[sub_pos] = group
@@ -1160,12 +1242,13 @@ def _maybe_steal(
         task.build_product(), task.space, task.build_roots(), task.limits
     )
     expansion = explorer.expand_entry(entry)
-    telemetry.steals += 1
+    registry.counter("campaign.steals").inc()
+    obs.event("steal", unit="/".join(state.unit.key), entries=1)
     if expansion.decided is not None:
-        telemetry.steal_settled += 1
+        registry.counter("campaign.steal_settled").inc()
         slot.sub_outcomes[sub_pos] = expansion.decided
     elif not expansion.entries:
-        telemetry.steal_settled += 1
+        registry.counter("campaign.steal_settled").inc()
         slot.sub_outcomes[sub_pos] = Outcome(
             kind=PROVED, elapsed=expansion.elapsed, stats=expansion.stats
         )

@@ -42,6 +42,8 @@ from repro.campaign.backends.specs import (
     SpecMiss,
     execute_envelope,
 )
+from repro.obs import clock
+from repro.obs.recorder import TracedOutcome
 from repro.campaign.backends.wire import (
     TOKEN_ENV,
     WireError,
@@ -78,12 +80,12 @@ def _die_with_parent() -> None:
 
 def _connect_with_retry(addr: tuple[str, int], retry_s: float) -> socket.socket:
     """Dial the coordinator, retrying inside the window (races startup)."""
-    deadline = time.monotonic() + retry_s
+    deadline = clock.monotonic() + retry_s
     while True:
         try:
             return socket.create_connection(addr, timeout=5.0)
         except OSError as exc:
-            if time.monotonic() >= deadline:
+            if clock.monotonic() >= deadline:
                 raise SystemExit(
                     f"worker: cannot reach coordinator at "
                     f"{addr[0]}:{addr[1]} within {retry_s:.0f}s: {exc}"
@@ -121,9 +123,9 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
     # spec inline once per connection; pool children are warmed lazily
     # (a cold child answers SpecMiss and the agent resubmits from here).
     specs: dict = {}
-    last_beat = time.monotonic()
+    last_beat = clock.monotonic()
     while True:
-        now = time.monotonic()
+        now = clock.monotonic()
         if now - last_beat >= HEARTBEAT_INTERVAL:
             send_frame(sock, "heartbeat", {})
             last_beat = now
@@ -157,7 +159,22 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
                     )
                 continue
             envelopes.pop(ticket, None)
+            batch = None
+            if isinstance(outcome, TracedOutcome):
+                outcome, batch = outcome.outcome, outcome.batch
             send_frame(sock, "result", {"ticket": ticket, "outcome": outcome})
+            if batch is not None:
+                # Spans ride behind their result so a lost connection
+                # never costs a result for the sake of observability.
+                # ``sent`` is stamped as late as possible: the
+                # coordinator's receipt-minus-sent difference becomes
+                # the batch's clock-offset correction.
+                send_frame(
+                    sock,
+                    "spans",
+                    {"ticket": ticket, "batch": batch,
+                     "sent": clock.monotonic()},
+                )
         readable, _, _ = select.select([sock], [], [], 0.2)
         if not readable:
             continue

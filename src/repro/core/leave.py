@@ -39,9 +39,9 @@ induction) is recorded in DESIGN.md.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 
+from repro.obs import clock
 from repro.core.contracts import Contract
 from repro.events import FetchBundle
 from repro.isa.encoding import EncodingSpace
@@ -153,7 +153,7 @@ def leave_verify(
     config: LeaveConfig = LeaveConfig(),
 ) -> Outcome:
     """Run the LEAVE-style invariant search; PROVED, UNKNOWN or ATTACK."""
-    start = time.monotonic()
+    start = clock.monotonic()
     rng = random.Random(config.seed)
     pair = _LockstepPair(core_factory, contract)
     universe = [i for i in space.instructions()]
@@ -161,7 +161,7 @@ def leave_verify(
     if not reachable:
         return Outcome(
             kind=UNKNOWN,
-            elapsed=time.monotonic() - start,
+            elapsed=clock.monotonic() - start,
             stats=SearchStats(),
             note="no contract-respecting reachable states harvested",
         )
@@ -203,7 +203,7 @@ def leave_verify(
         if not candidates:
             return Outcome(
                 kind=UNKNOWN,
-                elapsed=time.monotonic() - start,
+                elapsed=clock.monotonic() - start,
                 stats=SearchStats(states=len(states), transitions=transitions),
                 note="candidate invariants exhausted (LEAVE: UNKNOWN)",
             )
@@ -224,14 +224,14 @@ def leave_verify(
                 continue
             return Outcome(
                 kind=UNKNOWN,
-                elapsed=time.monotonic() - start,
+                elapsed=clock.monotonic() - start,
                 stats=SearchStats(states=len(states), transitions=transitions),
                 note="induction counterexample (possibly unreachable state):"
                 " LEAVE reports UNKNOWN",
             )
     return Outcome(
         kind=PROVED,
-        elapsed=time.monotonic() - start,
+        elapsed=clock.monotonic() - start,
         stats=SearchStats(states=len(states), transitions=transitions),
         note=f"inductive with {len(candidates)}/{len(atoms)} equality invariants"
         " (sampled induction)",

@@ -28,8 +28,10 @@ import sys
 
 from repro.campaign.cli import (
     add_backend_arguments,
+    add_trace_argument,
     backend_from_args,
     close_backend,
+    trace_to,
 )
 from repro.campaign.log import CampaignLog
 from repro.fuzz.campaign import run_fuzz
@@ -76,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         "--log", default=None, help="write a JSONL result log to this path"
     )
     add_backend_arguments(parser)
+    add_trace_argument(parser)
     args = parser.parse_args(argv)
     preset = preset_config(args.units, args.seed)
     # ``--workers 0`` keeps the campaign CLI's meaning: one per CPU.
@@ -110,11 +113,12 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     try:
-        if args.log:
-            with open(args.log, "w", encoding="utf-8") as handle:
-                report = _run(CampaignLog(handle))
-        else:
-            report = _run(None)
+        with trace_to(args.trace):
+            if args.log:
+                with open(args.log, "w", encoding="utf-8") as handle:
+                    report = _run(CampaignLog(handle))
+            else:
+                report = _run(None)
     finally:
         close_backend(backend)
     print(f"{preset.name}: {report.summary()}")

@@ -30,9 +30,11 @@ round plus one for the minimized leak, all replayable / diffable via
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import obs
+from repro.obs import clock
+from repro.obs.metrics import fill_telemetry, new_registry
 from repro.campaign.backends import (
     ExecutionBackend,
     SerialBackend,
@@ -168,10 +170,22 @@ def run_fuzz(
     stamps a shared absolute deadline on every shard; truncated rounds
     report ``timeout`` records (timing-dependent, like every budget).
     """
-    started = time.monotonic()
+    started = clock.monotonic()
     deadline = None if budget_s is None else started + budget_s
     limits = SearchLimits(deadline=deadline)
     backend_obj, owned = _resolve_backend(backend, n_workers)
+    # Fuzz campaigns share the verification campaigns' telemetry shim:
+    # one CampaignTelemetry per run, re-pointing the process-global
+    # alias, filled from the metrics registry at the end (so fuzz runs
+    # finally report their shard counter instead of a stale search
+    # campaign's numbers).
+    from repro.campaign import scheduler as _scheduler
+
+    telemetry = _scheduler.CampaignTelemetry(
+        backend=backend_obj.name, capacity=max(1, backend_obj.capacity())
+    )
+    _scheduler.LAST_TELEMETRY = telemetry
+    registry = new_registry()
     if log is not None:
         log.header(experiment, max(1, backend_obj.capacity()), max_rounds)
     coverage = CoverageMap()
@@ -179,51 +193,76 @@ def run_fuzz(
     rounds: list[FuzzRound] = []
     leak: FuzzLeak | None = None
     minimized: MinimizedLeak | None = None
+    shards_counter = registry.counter("campaign.shards")
     try:
         backend_obj.set_deadline(deadline)
         for round_index in range(max_rounds):
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and clock.monotonic() >= deadline:
                 break
-            tickets: dict[int, int] = {}
-            for batch_index in range(n_batches):
-                shard = FuzzShard(
-                    config=config,
-                    round_index=round_index,
-                    batch_index=batch_index,
-                    n_programs=batch_size,
-                    corpus=tuple(corpus),
-                    known_coverage=coverage.snapshot(),
-                    mutate_ratio=mutate_ratio,
-                    stop_on_leak=stop_on_leak,
-                    limits=limits,
-                )
-                tickets[backend_obj.submit_unit(WorkItem(fuzz=shard))] = (
-                    batch_index
-                )
-            results = collect_results(
-                backend_obj, tickets, n_batches, label="fuzz shard"
-            )
-            merged = FuzzRound(index=round_index)
-            round_leaks: list[FuzzLeak] = []
-            for result in results:  # batch-index order: the merge contract
-                if isinstance(result, Outcome):
-                    # Budget-synthesized timeout: the shard never ran.
-                    merged.truncated = True
-                    continue
-                merged.programs += result.programs
-                merged.cycles += result.cycles
-                for name, count in result.verdicts:
-                    merged.verdicts[name] = (
-                        merged.verdicts.get(name, 0) + count
+            round_t0 = clock.monotonic()
+            with obs.span(
+                "fuzz.round", round=round_index, batches=n_batches
+            ):
+                tickets: dict[int, int] = {}
+                for batch_index in range(n_batches):
+                    shard = FuzzShard(
+                        config=config,
+                        round_index=round_index,
+                        batch_index=batch_index,
+                        n_programs=batch_size,
+                        corpus=tuple(corpus),
+                        known_coverage=coverage.snapshot(),
+                        mutate_ratio=mutate_ratio,
+                        stop_on_leak=stop_on_leak,
+                        limits=limits,
                     )
-                merged.new_coverage += len(coverage.merge(result.new_coverage))
-                for program in result.corpus_additions:
-                    corpus.append(program)
-                merged.truncated |= result.truncated is not None
-                merged.leaks += len(result.leaks)
-                round_leaks.extend(result.leaks)
-            del corpus[:-CORPUS_CAP]
-            merged.elapsed = time.monotonic() - started
+                    ticket = backend_obj.submit_unit(WorkItem(fuzz=shard))
+                    tickets[ticket] = batch_index
+                    shards_counter.inc()
+                    obs.event(
+                        "shard.submit",
+                        ticket=ticket,
+                        unit=f"round-{round_index}/batch-{batch_index}",
+                        predicted=batch_size,
+                    )
+                results = collect_results(
+                    backend_obj, tickets, n_batches, label="fuzz shard"
+                )
+                merged = FuzzRound(index=round_index)
+                round_leaks: list[FuzzLeak] = []
+                for result in results:  # batch-index order: the merge contract
+                    if isinstance(result, Outcome):
+                        # Budget-synthesized timeout: the shard never ran.
+                        merged.truncated = True
+                        continue
+                    merged.programs += result.programs
+                    merged.cycles += result.cycles
+                    for name, count in result.verdicts:
+                        merged.verdicts[name] = (
+                            merged.verdicts.get(name, 0) + count
+                        )
+                    merged.new_coverage += len(
+                        coverage.merge(result.new_coverage)
+                    )
+                    for program in result.corpus_additions:
+                        corpus.append(program)
+                    merged.truncated |= result.truncated is not None
+                    merged.leaks += len(result.leaks)
+                    round_leaks.extend(result.leaks)
+                del corpus[:-CORPUS_CAP]
+            merged.elapsed = clock.monotonic() - started
+            round_dt = clock.monotonic() - round_t0
+            if round_dt > 0 and merged.programs:
+                registry.time_series("fuzz.programs_per_s").add(
+                    clock.monotonic(), merged.programs / round_dt
+                )
+            obs.event(
+                "fuzz.round.done",
+                round=round_index,
+                programs=merged.programs,
+                new_coverage=merged.new_coverage,
+                leaks=merged.leaks,
+            )
             round_leak = (
                 min(round_leaks, key=lambda l: l.order)
                 if round_leaks
@@ -255,6 +294,7 @@ def run_fuzz(
             if log is not None:
                 _log_minimized(log, experiment, leak, minimized)
     finally:
+        fill_telemetry(telemetry, registry)
         if owned:
             backend_obj.close()
         else:
@@ -266,7 +306,7 @@ def run_fuzz(
         corpus_size=len(corpus),
         leak=leak,
         minimized=minimized,
-        elapsed=time.monotonic() - started,
+        elapsed=clock.monotonic() - started,
     )
 
 

@@ -24,9 +24,9 @@ exactly like budget-tripped search campaigns).
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 
+from repro.obs import clock
 from repro.core.contracts import CONTRACTS
 from repro.core.verifier import SCHEME_SHADOW, VerificationTask
 from repro.fuzz.generator import GeneratorConfig, ProgramSampler
@@ -156,7 +156,7 @@ class FuzzShard:
 
     def run(self) -> FuzzShardResult:
         """Execute the batch; pure in the shard's fields."""
-        started = time.monotonic()
+        started = clock.monotonic()
         config = self.config
         product = config.build_product()
         roots = config.build_roots()
@@ -174,7 +174,7 @@ class FuzzShard:
         programs = cycles = 0
         truncated: str | None = None
         for trial in range(self.n_programs):
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and clock.monotonic() >= deadline:
                 truncated = "deadline"
                 break
             trial_seed = derive_seed(
@@ -230,7 +230,7 @@ class FuzzShard:
             corpus_additions=tuple(additions),
             leaks=tuple(leaks),
             truncated=truncated,
-            elapsed=time.monotonic() - started,
+            elapsed=clock.monotonic() - started,
         )
 
 

@@ -59,10 +59,11 @@ counterexamples and ``SearchStats`` alike.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
+from repro.obs import clock
 from repro.events import FetchBundle
 from repro.isa.encoding import EncodingSpace
 from repro.isa.instruction import HALT, Opcode
@@ -80,6 +81,12 @@ from repro.mc.result import (
 
 #: How many expansions between wall-clock checks.
 _CLOCK_STRIDE = 128
+
+#: How many expanded states one ``engine.wave`` trace span covers.  Only
+#: consulted when a recorder is installed (one ``is not None`` branch per
+#: expansion otherwise), and wide enough that the two clock reads per
+#: span disappear against ~1024 product steps.
+_WAVE_STRIDE = 1024
 
 
 @dataclass(frozen=True)
@@ -168,11 +175,11 @@ class _Budget:
 
     def __init__(self, limits: SearchLimits):
         self.limits = limits
-        self.start = time.monotonic()
+        self.start = clock.monotonic()
         self._tick = 0
 
     def elapsed(self) -> float:
-        return time.monotonic() - self.start
+        return clock.monotonic() - self.start
 
     def exhausted(self, states: int) -> bool:
         limits = self.limits
@@ -183,7 +190,7 @@ class _Budget:
         # strided check would let each shard overrun it by an unbounded
         # amount of work per tick window.  The ``>=`` boundary matches the
         # scheduler's pre-run check (``scheduler._run_shard``).
-        if limits.deadline is not None and time.monotonic() >= limits.deadline:
+        if limits.deadline is not None and clock.monotonic() >= limits.deadline:
             return True
         if limits.timeout_s is None:
             return False
@@ -192,7 +199,7 @@ class _Budget:
         self._tick += 1
         if self._tick % _CLOCK_STRIDE:
             return False
-        return time.monotonic() - self.start > limits.timeout_s
+        return clock.monotonic() - self.start > limits.timeout_s
 
 
 class Explorer:
@@ -284,7 +291,7 @@ class Explorer:
                 vec.select_root(root)
                 env = Environment.empty(imem_size)
                 stack.append(vec.seed_node(root_index, env, vec.capture(), 0))
-            return self._search_vector(stack)
+            return self._searched(stack, vector=True)
         codec = self._codec
         snapshot = codec.snapshot if codec is not None else self.product.snapshot
         for root_index, root in enumerate(self.roots):
@@ -292,7 +299,7 @@ class Explorer:
             env = Environment.empty(imem_size)
             snap, kref, sid = self._intern_state(root_index, snapshot())
             stack.append((root_index, env, snap, kref, sid, 0))
-        return self._search(stack)
+        return self._searched(stack, vector=False)
 
     def run_seeded(self, entries: Sequence[FrontierEntry]) -> Outcome:
         """Search a slice of the (single) root's first-cycle frontier.
@@ -316,7 +323,7 @@ class Explorer:
             for entry in entries:
                 self.product.restore(entry.snap)
                 stack.append(vec.seed_node(0, entry.env, vec.capture(), entry.depth))
-            return self._search_vector(stack)
+            return self._searched(stack, vector=True)
         codec = self._codec
         if codec is not None:
             # Frontier entries carry object-engine snapshots (the shard
@@ -327,7 +334,7 @@ class Explorer:
             raw = entry.snap if codec is None else codec.encode(entry.snap)
             snap, kref, sid = self._intern_state(0, raw)
             stack.append((0, entry.env, snap, kref, sid, entry.depth))
-        return self._search(stack)
+        return self._searched(stack, vector=False)
 
     def expand_root(self) -> RootExpansion:
         """Expand the (single) root's first cycle; the sub-root planner.
@@ -433,6 +440,47 @@ class Explorer:
     # ------------------------------------------------------------------
     # The DFS core
     # ------------------------------------------------------------------
+    def _searched(self, stack: list[tuple], *, vector: bool) -> Outcome:
+        """Run the DFS, wrapped in an ``engine.search`` trace span.
+
+        With no recorder installed this is one ``None`` check on top of
+        the search itself.  When tracing, the span carries the resolved
+        engine, the verdict kind and the state count, and the recorder's
+        counters absorb the engine's memo/visited sizes -- the numbers
+        :meth:`visited_footprint` would deep-walk for, at ``len`` cost.
+        The vector engine's visited-table load factor additionally lands
+        in the live metrics registry (in-process searches only; remote
+        shards carry it home in their span batch counters instead).
+        """
+        search = self._search_vector if vector else self._search
+        rec = obs.recorder()
+        if rec is None:
+            return search(stack)
+        with rec.span("engine.search", engine=self.engine) as sp:
+            outcome = search(stack)
+            # A real (stacked) span, not a pre-timed one, so the wave
+            # spans recorded inside the search nest under it.
+            sp.set(kind=outcome.kind, states=outcome.stats.states)
+        rec.count("engine.states", outcome.stats.states)
+        rec.count("engine.transitions", outcome.stats.transitions)
+        vec = self._vector
+        if vec is not None:
+            visited = vec.visited
+            rec.count("engine.visited", len(visited))
+            rec.count("engine.memo_entries", len(vec._expand_memo))
+            load = len(visited) / visited.capacity
+            rec.count("engine.visited_load_millis", int(load * 1000))
+            from repro.obs.metrics import LAST_REGISTRY
+
+            if LAST_REGISTRY is not None:
+                LAST_REGISTRY.gauge("engine.visited_load").set(load)
+                LAST_REGISTRY.time_series("engine.visited_load").add(
+                    clock.monotonic(), load
+                )
+        elif self._last_visited is not None:
+            rec.count("engine.visited", len(self._last_visited))
+        return outcome
+
     def _intern_state(self, root_index: int, raw_snap: tuple):
         """Hash-cons one snapshot; returns (canonical, key snapshot, id).
 
@@ -479,6 +527,11 @@ class Explorer:
         self._last_visited = visited
         states = transitions = pruned = max_depth = 0
         prune_reasons: dict[str, int] = {}
+        # Per-wave trace spans: one pre-timed span per _WAVE_STRIDE
+        # expansions (see _searched); a single branch per pop when off.
+        rec = obs.recorder()
+        engine = self.engine
+        wave_t0 = 0.0 if rec is None else clock.monotonic()
         # Data memories are *not* part of machine snapshots (they are
         # constant along a root's subtree), so the product must be re-reset
         # whenever the search crosses into a different root's subtree.
@@ -538,6 +591,13 @@ class Explorer:
                 active_root = root_index
                 current = None
             states += 1
+            if rec is not None and not states % _WAVE_STRIDE:
+                now = clock.monotonic()
+                rec.add_span(
+                    "engine.wave", wave_t0, now,
+                    engine=engine, states=_WAVE_STRIDE,
+                )
+                wave_t0 = now
             if depth > max_depth:
                 max_depth = depth
             if budget.exhausted(states):
@@ -636,6 +696,10 @@ class Explorer:
         exhausted = _Budget.exhausted
         states = transitions = pruned = max_depth = 0
         prune_reasons: dict[str, int] = {}
+        # Per-wave trace spans, mirroring _search (one branch per pop
+        # when tracing is off).
+        rec = obs.recorder()
+        wave_t0 = 0.0 if rec is None else clock.monotonic()
         # Data memories are not part of the interned machine words (they
         # are constant along a root's subtree), so crossing into another
         # root's subtree re-resets the product and rebinds the engine's
@@ -650,6 +714,13 @@ class Explorer:
                 vec.select_root(roots[root_index])
                 active_root = root_index
             states += 1
+            if rec is not None and not states % _WAVE_STRIDE:
+                now = clock.monotonic()
+                rec.add_span(
+                    "engine.wave", wave_t0, now,
+                    engine="vector", states=_WAVE_STRIDE,
+                )
+                wave_t0 = now
             if depth > max_depth:
                 max_depth = depth
             if exhausted(budget, states):

@@ -50,24 +50,24 @@ class _Budget:
 
     def __init__(self, limits):
         self.limits = limits
-        self.start = time.monotonic()
+        self.start = time.monotonic()  # repro: allow[determinism] frozen pre-overhaul engine, kept verbatim as the equivalence reference
         self._tick = 0
 
     def elapsed(self) -> float:
-        return time.monotonic() - self.start
+        return time.monotonic() - self.start  # repro: allow[determinism] frozen pre-overhaul engine, kept verbatim as the equivalence reference
 
     def exhausted(self, states: int) -> bool:
         limits = self.limits
         if limits.max_states is not None and states >= limits.max_states:
             return True
-        if limits.deadline is not None and time.monotonic() >= limits.deadline:
+        if limits.deadline is not None and time.monotonic() >= limits.deadline:  # repro: allow[determinism] frozen pre-overhaul engine, kept verbatim as the equivalence reference
             return True
         if limits.timeout_s is None:
             return False
         self._tick += 1
         if self._tick % _CLOCK_STRIDE:
             return False
-        return time.monotonic() - self.start > limits.timeout_s
+        return time.monotonic() - self.start > limits.timeout_s  # repro: allow[determinism] frozen pre-overhaul engine, kept verbatim as the equivalence reference
 
 
 class LegacyExplorer:

@@ -302,6 +302,16 @@ class VectorVisited:
     def __len__(self) -> int:
         return self.count
 
+    @property
+    def capacity(self) -> int:
+        """Current table slot count (load factor = ``len / capacity``).
+
+        The table doubles at 50% load, so an unpinned table reads below
+        0.5 here; observability (``repro.obs``) samples this ratio as
+        the ``engine.visited_load`` gauge.
+        """
+        return self._mask + 1
+
     # ------------------------------------------------------------------
     # Fingerprints (shared scalar/vector scheme)
     # ------------------------------------------------------------------

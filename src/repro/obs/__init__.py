@@ -1,0 +1,69 @@
+"""``repro.obs``: tracing, metrics and profiling for the campaign stack.
+
+Every layer below this one -- scheduler, execution backends, the worker
+agent, the search engines, the fuzz loop -- answers "what happened"
+through this package:
+
+- **Tracing** (:mod:`repro.obs.recorder`): ``span()`` / ``event()`` /
+  ``count()`` record onto a process-wide recorder.  Off by default: with
+  no recorder installed every call is one ``is None`` branch (spans
+  return a shared no-op context manager), and *nothing* reads a clock.
+  Worker processes record onto their own scoped recorder and ship the
+  finished batch home (a new ``"spans"`` wire frame for socket workers,
+  a :class:`~repro.obs.recorder.TracedOutcome` wrapper for pool
+  workers); the coordinator merges batches with clock-offset-corrected
+  timestamps into one trace.
+- **Clock** (:mod:`repro.obs.clock`): the one sanctioned place the
+  package reads wall/monotonic time, injectable for tests.  The
+  determinism lint flags direct clock reads anywhere else.
+- **Metrics** (:mod:`repro.obs.metrics`): counters, gauges, log-bucket
+  histograms and time series in a per-campaign registry that supersedes
+  ``CampaignTelemetry`` (the old dataclass is filled from the registry
+  as a compatibility shim).
+- **Sinks** (:mod:`repro.obs.sinks`): an in-memory recorder *is* the
+  collector; finished traces export to JSONL (interleavable with the
+  campaign result log -- record ``type`` values are disjoint) and to
+  Chrome ``trace_event`` JSON loadable in Perfetto.
+- **Report** (:mod:`repro.obs.report`, also ``python -m
+  repro.obs.report``): per-worker timeline, span-tree time breakdown,
+  top-N hottest units.
+
+The tracing layer never touches verdict or merge paths: the bit-identity
+contract extends to "tracing on vs off is bit-identical", and the test
+suite enforces it across all three backends.
+"""
+
+from __future__ import annotations
+
+from repro.obs import clock, metrics
+from repro.obs.recorder import (
+    EventRecord,
+    Recorder,
+    SpanBatch,
+    SpanRecord,
+    TracedOutcome,
+    count,
+    enabled,
+    event,
+    install,
+    recorder,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "EventRecord",
+    "Recorder",
+    "SpanBatch",
+    "SpanRecord",
+    "TracedOutcome",
+    "clock",
+    "count",
+    "enabled",
+    "event",
+    "install",
+    "metrics",
+    "recorder",
+    "span",
+    "tracing",
+]
