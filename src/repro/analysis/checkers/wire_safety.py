@@ -71,6 +71,11 @@ WIRE_ROOTS = (
     "SpanRecord",
     "EventRecord",
     "TracedOutcome",
+    # The live-status ``status`` frame (repro.obs.live): snapshots are
+    # streamed to read-only observers as JSON, but the same wire rules
+    # keep them frozen, slotted and closure-free end to end.
+    "ProgressSnapshot",
+    "WorkerHealth",
 )
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")

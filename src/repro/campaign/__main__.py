@@ -37,7 +37,9 @@ from repro.bench import ablation, fig2
 from repro.bench.configs import QUICK
 from repro.campaign.cli import (
     add_backend_arguments,
+    add_status_arguments,
     add_trace_argument,
+    append_history,
     backend_from_args,
     close_backend,
     trace_to,
@@ -136,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_backend_arguments(parser)
     add_trace_argument(parser)
+    add_status_arguments(parser)
     args = parser.parse_args(argv)
     if args.units in FUZZ_PRESETS:
         # Random-testing grids run through the fuzz driver: forward the
@@ -159,6 +162,10 @@ def main(argv: list[str] | None = None) -> int:
             forwarded += ["--min-workers", str(args.min_workers)]
         if args.trace:
             forwarded += ["--trace", args.trace]
+        if args.status_json:
+            forwarded += ["--status-json", args.status_json]
+        if args.history:
+            forwarded += ["--history", args.history]
         return fuzz_main(forwarded)
     build_units, expected = GRIDS[args.units]
     units = build_units()
@@ -174,8 +181,12 @@ def main(argv: list[str] | None = None) -> int:
             experiment=args.units,
             subroot=args.subroot,
             backend=backend,
+            status_json=args.status_json,
         )
 
+    from repro.obs import clock
+
+    wall_t0 = clock.monotonic()
     try:
         with trace_to(args.trace):
             if args.log:
@@ -185,6 +196,30 @@ def main(argv: list[str] | None = None) -> int:
                 results = _run(None)
     finally:
         close_backend(backend)
+    wall_s = clock.monotonic() - wall_t0
+    telemetry = results[0].telemetry if results else None
+    verdicts: dict = {}
+    states = 0
+    for result in results:
+        verdicts[result.outcome.kind] = verdicts.get(result.outcome.kind, 0) + 1
+        states += result.outcome.stats.states
+    append_history(
+        args.history,
+        desc={
+            "cli": "campaign",
+            "units": args.units,
+            "subroot": args.subroot,
+            "backend": telemetry.backend if telemetry else "",
+            "workers": telemetry.capacity if telemetry else 0,
+        },
+        experiment=args.units,
+        backend=telemetry.backend if telemetry else "",
+        capacity=telemetry.capacity if telemetry else 0,
+        units=len(results),
+        verdicts=verdicts,
+        wall_s=wall_s,
+        states=states,
+    )
     failures = 0
     for result in results:
         print(f"{'/'.join(result.key):24s} {result.outcome.summary()}")

@@ -316,6 +316,41 @@ class ExecutionBackend:
         """Install the campaign's absolute ``time.monotonic()`` deadline."""
         self._deadline = deadline
 
+    # -- status hooks (observability only; see repro.obs.live) ----------
+    #: The campaign's :class:`repro.obs.live.StatusPublisher`, if any.
+    _status_publisher = None
+    #: The campaign's :class:`repro.obs.metrics.MetricsRegistry`, if any.
+    _registry = None
+
+    def set_status_publisher(self, publisher) -> None:
+        """Attach (or with ``None`` detach) the campaign's publisher.
+
+        Backends call :meth:`_publish_status` from their wait loops so
+        snapshots keep flowing while the scheduler blocks; everything
+        here is observability-only and never touches results.
+        """
+        self._status_publisher = publisher
+
+    def attach_registry(self, registry) -> None:
+        """Hand the backend the campaign's metrics registry (or ``None``)
+        so backend-side instruments (e.g. the cluster's heartbeat-RTT
+        histogram) land in the campaign's trace."""
+        self._registry = registry
+
+    def _publish_status(self) -> None:
+        """Tick the attached publisher, if any (rate-limited there)."""
+        if self._status_publisher is not None:
+            self._status_publisher.tick(self)
+
+    def worker_health(self) -> tuple:
+        """Per-worker :class:`repro.obs.live.WorkerHealth` records, for
+        backends with that visibility (the cluster); empty otherwise."""
+        return ()
+
+    def broadcast_status(self, payload: dict) -> None:
+        """Fan a ``status`` payload to attached observers, if the
+        backend has any transport for them (the cluster); no-op here."""
+
     def make_filter(self, capacity: int) -> "SharedVisitedFilter | None":
         """Create a unit's cross-process visited filter, if this backend
         can share memory with its workers; ``None`` degrades the unit to

@@ -26,6 +26,16 @@ launch mechanism is trivial::
 over SSH, in a container, or under kubernetes; :meth:`spawn_local_workers`
 starts them as local subprocesses for tests and single-host smoke runs.
 
+Beyond workers, the coordinator accepts read-only **observer**
+connections (a ``hello`` with ``role: "observer"`` and the same token):
+they contribute zero capacity, are never dispatched to, and receive
+``status`` frames -- live :class:`repro.obs.live.ProgressSnapshot`
+records -- which ``python -m repro.obs.watch`` renders.  The coordinator
+also probes every worker with ``ping`` frames and folds the echoed
+``pong`` round trips into a heartbeat-latency histogram
+(``cluster.heartbeat_rtt_s``), the measurement half of the ROADMAP's
+WAN-adaptive heartbeat follow-up.
+
 No shared visited filter: ``make_filter`` inherits the ``None`` default
 -- shared-memory segments do not cross hosts, so ``shared_visited``
 units degrade to per-shard search (sound; the in-process mirror folding
@@ -46,6 +56,8 @@ from typing import Iterator
 
 from repro import obs
 from repro.obs import clock
+from repro.obs.live import WorkerHealth
+from repro.obs.metrics import Histogram, log_bucket_boundaries
 from repro.campaign.backends.base import (
     ExecutionBackend,
     ShardFailure,
@@ -70,6 +82,22 @@ HEARTBEAT_TIMEOUT = 30.0
 #: A connection that has not authenticated within this window is dropped.
 AUTH_TIMEOUT = 10.0
 
+#: Seconds between coordinator->worker round-trip probes (``ping``
+#: frames); matches the workers' own heartbeat cadence.
+PING_INTERVAL = 5.0
+
+#: Buckets for the heartbeat round-trip histogram: 10 us .. 10 s, four
+#: log buckets per decade (same-host agents land around 0.1-1 ms; a WAN
+#: hop shows up two decades higher -- the measurement the ROADMAP's
+#: WAN-adaptive heartbeat follow-up needs).
+RTT_BUCKETS = log_bucket_boundaries(-5, 1, 4)
+
+#: Send stall allowed on a ``status`` frame before the observer is
+#: declared dead: short, because a stalled observer must never be able
+#: to hold up the coordinator's event loop (workers get the full
+#: ``SEND_TIMEOUT``; observers are disposable).
+OBSERVER_SEND_TIMEOUT = 2.0
+
 
 class _WorkerConn:
     """One connected (maybe not yet authenticated) worker agent."""
@@ -84,6 +112,17 @@ class _WorkerConn:
         self.inflight: set[int] = set()
         self.buffer = bytearray()
         self.last_seen = clock.monotonic()
+        #: Read-only status consumer (hello ``role: "observer"``): zero
+        #: slots, never dispatched to, excluded from capacity and from
+        #: the worker-failure counter -- it can watch, never work.
+        self.is_observer = False
+        #: RTT probe state: when the last ``ping`` went out, and the
+        #: last measured round-trip (``None`` until the first pong).
+        self.last_ping: float | None = None
+        self.last_rtt: float | None = None
+        #: Throughput of this agent's most recent completed search
+        #: shard (states/s); surfaced in worker-health snapshots.
+        self.last_states_per_s: float | None = None
         #: Spec fingerprints this agent has been shipped inline; later
         #: shards of the same unit cross as bare fingerprints (the agent
         #: caches specs and warms its own pool children).  Dies with the
@@ -162,6 +201,10 @@ class SocketClusterBackend(ExecutionBackend):
         #: and workers declared dead.
         self.requeued = 0
         self.worker_failures = 0
+        #: Heartbeat round-trip latency across all workers (ping->pong;
+        #: mirrored into the campaign's registry when one is attached,
+        #: so it lands in traces and ``repro.obs.report``).
+        self.heartbeat_rtt = Histogram("cluster.heartbeat_rtt_s", RTT_BUCKETS)
 
     # ------------------------------------------------------------------
     # Worker lifecycle
@@ -220,7 +263,11 @@ class SocketClusterBackend(ExecutionBackend):
             self._poll(0.2)
 
     def capacity(self) -> int:
-        return sum(w.slots for w in self._workers if w.authed)
+        # Observers are explicitly excluded (their slots are zero by
+        # construction, but capacity is a scheduling input -- be direct).
+        return sum(
+            w.slots for w in self._workers if w.authed and not w.is_observer
+        )
 
     def outstanding(self) -> int:
         # Discarded-but-assigned shards still occupy a worker slot (no
@@ -320,8 +367,65 @@ class SocketClusterBackend(ExecutionBackend):
             )
             if silent > limit:
                 self._drop_worker(conn)
+        self._send_pings(now)
         self._dispatch()
         self._check_spawned()
+        self._publish_status()
+
+    def _send_pings(self, now: float) -> None:
+        """RTT probes to every authed worker, one per :data:`PING_INTERVAL`.
+
+        Each ping carries its own send instant, so a late pong still
+        measures a true round trip; a lost one simply yields no sample
+        (liveness is the heartbeat reaper's job, not the probe's).
+        """
+        for conn in list(self._workers):
+            if not conn.authed or conn.is_observer:
+                continue
+            if conn.last_ping is not None and now - conn.last_ping < PING_INTERVAL:
+                continue
+            conn.last_ping = now
+            try:
+                send_frame(conn.sock, "ping", {"t": now})
+            except WireError:
+                self._drop_worker(conn)
+
+    # ------------------------------------------------------------------
+    # Status surfaces (observability only; see repro.obs.live)
+    # ------------------------------------------------------------------
+    def worker_health(self) -> tuple:
+        """One :class:`repro.obs.live.WorkerHealth` per authed worker."""
+        now = clock.monotonic()
+        return tuple(
+            WorkerHealth(
+                label=conn.label,
+                slots=conn.slots,
+                inflight=len(conn.inflight),
+                heartbeat_age_s=max(0.0, now - conn.last_seen),
+                spec_cache=len(conn.seen_specs),
+                last_states_per_s=conn.last_states_per_s,
+                rtt_s=conn.last_rtt,
+            )
+            for conn in self._workers
+            if conn.authed and not conn.is_observer
+        )
+
+    def broadcast_status(self, payload: dict) -> None:
+        """Fan one ``status`` frame to every attached observer.
+
+        A slow or vanished observer is dropped on the spot (short send
+        timeout) -- it holds no work and owes no results, so the only
+        thing its death can ever cost is its own view.
+        """
+        for conn in list(self._workers):
+            if not (conn.authed and conn.is_observer):
+                continue
+            try:
+                send_frame(
+                    conn.sock, "status", payload, timeout=OBSERVER_SEND_TIMEOUT
+                )
+            except WireError:
+                self._drop_worker(conn)
 
     def _expire_queued(self) -> None:
         """Budget-synthesize outcomes for queued work past the deadline."""
@@ -349,12 +453,36 @@ class SocketClusterBackend(ExecutionBackend):
                 self._drop_worker(conn)  # wrong/no token: no requeue needed
                 return
             conn.authed = True
-            conn.slots = max(1, int(payload.get("slots") or 1))
+            if payload.get("role") == "observer":
+                # Read-only peer: zero slots (never dispatched to, zero
+                # capacity), kept alive by its own heartbeats, fed
+                # ``status`` frames until it detaches or the campaign
+                # shuts down.
+                conn.is_observer = True
+                conn.slots = 0
+            else:
+                conn.slots = max(1, int(payload.get("slots") or 1))
             label = payload.get("label")
             if label:
                 conn.label = str(label)
             try:
                 send_frame(conn.sock, "welcome", {"coordinator_pid": os.getpid()})
+                if conn.is_observer:
+                    # Catch the newcomer up immediately: the latest
+                    # snapshot, if a campaign has published one.
+                    publisher = self._status_publisher
+                    if (
+                        publisher is not None
+                        and publisher.last_snapshot is not None
+                    ):
+                        from repro.obs.live import snapshot_to_json
+
+                        send_frame(
+                            conn.sock,
+                            "status",
+                            snapshot_to_json(publisher.last_snapshot),
+                            timeout=OBSERVER_SEND_TIMEOUT,
+                        )
             except WireError:
                 self._drop_worker(conn)
             return
@@ -374,6 +502,19 @@ class SocketClusterBackend(ExecutionBackend):
                 recorder.absorb(
                     payload["batch"], offset=offset, worker=conn.label
                 )
+        elif kind == "pong":
+            # Round-trip sample: the worker echoed our monotonic send
+            # instant, so receipt-minus-sent is one full RTT on this
+            # host's clock (no cross-host clock math involved).
+            sent = payload.get("t")
+            if isinstance(sent, (int, float)):
+                rtt = max(0.0, clock.monotonic() - sent)
+                conn.last_rtt = rtt
+                self.heartbeat_rtt.observe(rtt)
+                if self._registry is not None:
+                    self._registry.histogram(
+                        "cluster.heartbeat_rtt_s", RTT_BUCKETS
+                    ).observe(rtt)
         elif kind == "error":
             # A raising shard is deterministic -- requeueing would fail
             # identically elsewhere -- so deliver a ShardFailure and let
@@ -389,6 +530,14 @@ class SocketClusterBackend(ExecutionBackend):
     def _take_result(self, conn: _WorkerConn, ticket: int, outcome) -> None:
         if self._assigned.get(ticket) is not conn:
             return  # stale: the ticket was requeued to another worker
+        if (
+            isinstance(outcome, Outcome)
+            and outcome.elapsed > 0
+            and outcome.stats.states > 0
+        ):
+            # Worker-health bookkeeping only (discarded results still
+            # measured real throughput, so record before that check).
+            conn.last_states_per_s = outcome.stats.states / outcome.elapsed
         self._release(conn, ticket)
         if ticket in self._discarded:
             self._discarded.discard(ticket)
@@ -405,7 +554,10 @@ class SocketClusterBackend(ExecutionBackend):
             return
         self._workers.remove(conn)
         conn.sock.close()
-        if conn.authed:
+        if conn.authed and not conn.is_observer:
+            # A vanished observer held no work and owed no results: not
+            # a worker failure (and nothing below requeues -- its
+            # inflight set is empty by construction).
             self.worker_failures += 1
         for ticket in sorted(conn.inflight, reverse=True):
             self._assigned.pop(ticket, None)
@@ -423,6 +575,8 @@ class SocketClusterBackend(ExecutionBackend):
         for conn in list(self._workers):
             if conn not in self._workers:
                 continue  # dropped while dispatching to an earlier worker
+            if conn.is_observer:
+                continue  # read-only by contract (free_slots is 0 too)
             while self._queue and conn.free_slots() > 0:
                 ticket = self._queue.popleft()
                 item = self._items[ticket]
@@ -444,7 +598,11 @@ class SocketClusterBackend(ExecutionBackend):
 
     def _check_spawned(self) -> None:
         """Fail fast when every locally-spawned agent is already dead."""
-        if not self.spawned or self._workers or not self._live_outstanding():
+        # Only *worker* connections count as live here: an attached
+        # observer must not mask the every-spawned-agent-dead condition
+        # (it can watch, but it will never drain the queue).
+        has_workers = any(not w.is_observer for w in self._workers)
+        if not self.spawned or has_workers or not self._live_outstanding():
             return
         if all(proc.poll() is not None for proc in self.spawned):
             self._pending_error = RuntimeError(

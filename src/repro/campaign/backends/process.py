@@ -99,8 +99,13 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def as_completed(self) -> Iterator[tuple[int, Outcome]]:
         while self._futures:
+            self._publish_status()
             by_future = {f: t for t, f in self._futures.items()}
-            done, _ = wait(by_future, return_when=FIRST_COMPLETED)
+            # The short timeout exists only so status snapshots keep
+            # flowing during a long shard; completion order was already
+            # nondeterministic and the merge is order-blind, so polling
+            # cannot affect results.
+            done, _ = wait(by_future, timeout=0.25, return_when=FIRST_COMPLETED)
             for future in done:
                 ticket = by_future[future]
                 # A future cancelled between ``wait`` and here never ran.

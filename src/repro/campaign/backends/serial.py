@@ -46,6 +46,7 @@ class SerialBackend(ExecutionBackend):
 
     def as_completed(self) -> Iterator[tuple[int, Outcome]]:
         while self._queue:
+            self._publish_status()
             ticket = next(iter(self._queue))
             item = self._queue.pop(ticket)
             try:

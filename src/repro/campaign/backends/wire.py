@@ -25,12 +25,26 @@ frame                   direction / meaning
 ``error``               worker -> coordinator: ``{ticket, message}`` -- the
                         shard raised; deterministic, so it is *not* requeued
 ``heartbeat``           worker -> coordinator: liveness while computing
+``ping``                coordinator -> worker: ``{t}`` -- a round-trip probe;
+                        ``t`` is the coordinator's monotonic send instant
+``pong``                worker -> coordinator: the ping payload echoed
+                        verbatim (receipt-minus-``t`` is the RTT sample the
+                        coordinator's heartbeat-latency histogram observes)
+``status``              coordinator -> observer: one
+                        :class:`repro.obs.live.ProgressSnapshot` as JSON
+                        (see :func:`repro.obs.live.snapshot_to_json`) --
+                        the live campaign view ``python -m repro.obs.watch``
+                        renders.  Observability only, like ``spans``
 ``shutdown``            coordinator -> worker: campaign over, exit cleanly
 ======================  =======================================================
 
 Authentication: the first frame on a fresh connection must be a
 ``hello`` whose token matches the coordinator's (compared with
 :func:`hmac.compare_digest`); anything else closes the connection.
+A hello carrying ``role: "observer"`` authenticates a *read-only*
+peer: it receives ``status`` frames and the ``shutdown``, is never
+assigned work, and contributes zero capacity -- everything it sees is
+JSON, so an observer client needs no pickle trust in the coordinator.
 Control frames (hello/welcome/heartbeat/shutdown/error) are JSON and
 task/result frames are pickle, and the coordinator refuses to decode
 pickle from a connection that has not authenticated -- unpickling
@@ -76,8 +90,12 @@ _FMT_JSON = 0x4A  # 'J'
 _FMT_PICKLE = 0x50  # 'P'
 
 #: Frame kinds that must cross the wire as JSON: everything exchanged
-#: before trust is established, plus plain-data control traffic.
-_JSON_KINDS = frozenset({"hello", "welcome", "heartbeat", "shutdown", "error"})
+#: before trust is established, plus plain-data control traffic (which
+#: includes everything an observer connection ever sees).
+_JSON_KINDS = frozenset(
+    {"hello", "welcome", "heartbeat", "shutdown", "error",
+     "ping", "pong", "status"}
+)
 
 #: Ceiling on how long one frame send may stall on a congested peer
 #: before the connection is declared dead.
@@ -117,13 +135,24 @@ def _send_all(sock: socket.socket, blob: bytes, timeout: float) -> None:
         view = view[sent:]
 
 
-def send_frame(sock: socket.socket, kind: str, payload: dict[str, Any]) -> None:
-    """Serialize and send one frame (raises :class:`WireError` on loss)."""
+def send_frame(
+    sock: socket.socket,
+    kind: str,
+    payload: dict[str, Any],
+    *,
+    timeout: float = SEND_TIMEOUT,
+) -> None:
+    """Serialize and send one frame (raises :class:`WireError` on loss).
+
+    ``timeout`` bounds the stall on a congested peer; senders of purely
+    observational frames (``status`` to observers) pass a short one so a
+    stuck consumer is declared dead instead of stalling the campaign.
+    """
     if kind in _JSON_KINDS:
         body = bytes([_FMT_JSON]) + json.dumps([kind, payload]).encode("utf-8")
     else:
         body = bytes([_FMT_PICKLE]) + pickle.dumps((kind, payload), protocol=4)
-    _send_all(sock, _HEADER.pack(len(body)) + body, SEND_TIMEOUT)
+    _send_all(sock, _HEADER.pack(len(body)) + body, timeout)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:

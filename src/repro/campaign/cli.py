@@ -111,6 +111,56 @@ def add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_status_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--status-json`` / ``--history`` flags."""
+    parser.add_argument(
+        "--status-json", default=None, metavar="FILE",
+        help="atomically rewrite FILE with the latest live ProgressSnapshot "
+        "(~1/s, every backend); watch it with "
+        "python -m repro.obs.watch --status-json FILE",
+    )
+    parser.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="append one run record to this JSONL ledger when the run "
+        "completes; compare runs with python -m repro.obs.history",
+    )
+
+
+def append_history(
+    path: str | None,
+    *,
+    desc: dict,
+    experiment: str,
+    backend: str,
+    capacity: int,
+    units: int,
+    verdicts: dict,
+    wall_s: float,
+    states: int,
+) -> None:
+    """Append a run to the ``--history`` ledger (no-op without a path)."""
+    if not path:
+        return
+    from repro.obs import clock
+    from repro.obs.history import append_run, make_run_record
+
+    append_run(
+        path,
+        make_run_record(
+            desc=desc,
+            experiment=experiment,
+            backend=backend,
+            capacity=capacity,
+            units=units,
+            verdicts=verdicts,
+            wall_s=wall_s,
+            states=states,
+            wall_unix_s=clock.wall(),
+        ),
+    )
+    print(f"history: run appended -> {path}", file=sys.stderr)
+
+
 @contextmanager
 def trace_to(path: str | None):
     """Record a campaign trace around a CLI run, written at exit.

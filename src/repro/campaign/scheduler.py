@@ -135,6 +135,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.obs import clock
+from repro.obs.live import ProgressTracker, StatusPublisher
 from repro.obs.metrics import (
     MetricsRegistry,
     fill_telemetry,
@@ -569,14 +570,25 @@ class _ResultSink:
     survives a mid-campaign crash or interrupt.
     """
 
-    def __init__(self, units: list[CampaignUnit], log: CampaignLog | None):
+    def __init__(
+        self,
+        units: list[CampaignUnit],
+        log: CampaignLog | None,
+        tracker: ProgressTracker | None = None,
+    ):
         self.units = units
         self.log = log
+        self.tracker = tracker
         self.outcomes: list[Outcome | None] = [None] * len(units)
         self._next = 0
 
     def offer(self, index: int, outcome: Outcome) -> None:
         self.outcomes[index] = outcome
+        if self.tracker is not None:
+            # Every finalized unit passes through here (idempotent per
+            # index on the tracker side), so live progress needs no
+            # second choke point.
+            self.tracker.unit_done(index, outcome.kind)
         if self.log is None:
             return
         while self._next < len(self.units):
@@ -617,6 +629,8 @@ def run_campaign(
     subroot: str = "auto",
     backend=None,
     rebalance: bool = True,
+    status_json: str | None = None,
+    status_interval: float = 1.0,
 ) -> list[CampaignResult]:
     """Run a campaign; results align with ``units`` (deterministic order).
 
@@ -639,6 +653,13 @@ def run_campaign(
     depth-2 shards when capacity idles (bit-identical either way).
     ``budget_s`` is a shared wall-clock budget; units it cuts off report
     timeout outcomes noted ``"campaign budget exhausted"``.
+
+    ``status_json`` names a file to atomically rewrite with the latest
+    :class:`repro.obs.live.ProgressSnapshot` about every
+    ``status_interval`` seconds (every backend, serial included); the
+    same snapshots stream to socket observers and to
+    ``repro.obs.live.LAST_SNAPSHOT``.  Observability only -- results
+    are bit-identical with or without it.
     """
     units = list(units)
     if subroot not in SUBROOT_MODES:
@@ -654,21 +675,29 @@ def run_campaign(
     telemetry = CampaignTelemetry(capacity=capacity)
     LAST_TELEMETRY = telemetry
     registry = new_registry()
+    tracker = ProgressTracker(
+        experiment=experiment, units_total=len(units), capacity=capacity
+    )
+    publisher = StatusPublisher(
+        tracker, registry=registry, interval=status_interval, path=status_json
+    )
     if log is not None:
         log.header(experiment, capacity, len(units))
     # Results stream to the log in submission order as units finalize
     # (each record is flushed), so an interrupted campaign keeps every
     # completed prefix for --from-log re-rendering.
-    sink = _ResultSink(units, log)
+    sink = _ResultSink(units, log, tracker)
     try:
         with obs.span("campaign", experiment=experiment, units=len(units)):
             if backend is None and capacity == 1:
                 telemetry.backend = "serial"
-                outcomes = _run_serial(units, deadline, sink)
+                tracker.backend = "serial"
+                outcomes = _run_serial(units, deadline, sink, publisher)
             else:
                 outcomes = _run_sharded(
                     units, backend_obj, owned, capacity, deadline, sink,
                     subroot, rebalance, telemetry, registry,
+                    tracker, publisher,
                 )
     finally:
         fill_telemetry(telemetry, registry)
@@ -688,10 +717,15 @@ def _stamp_deadline(task: VerificationTask, deadline: float | None):
 
 
 def _run_serial(
-    units: list[CampaignUnit], deadline: float | None, sink: _ResultSink
+    units: list[CampaignUnit],
+    deadline: float | None,
+    sink: _ResultSink,
+    publisher: StatusPublisher | None = None,
 ) -> list[Outcome]:
     outcomes: list[Outcome] = []
     for index, unit in enumerate(units):
+        if publisher is not None:
+            publisher.tick()
         key = "/".join(unit.key)
         if deadline is not None and clock.monotonic() >= deadline:
             outcome = _budget_outcome()
@@ -703,6 +737,12 @@ def _run_serial(
         )
         outcomes.append(outcome)
         sink.offer(index, outcome)
+        if sink.tracker is not None:
+            sink.tracker.states += outcome.stats.states
+            if outcome.elapsed > 0:
+                sink.tracker.note_rate(outcome.stats.states / outcome.elapsed)
+    if publisher is not None:
+        publisher.tick(force=True)
     return outcomes
 
 
@@ -777,6 +817,8 @@ def _run_sharded(
     rebalance: bool,
     telemetry: CampaignTelemetry,
     registry: MetricsRegistry,
+    tracker: ProgressTracker | None = None,
+    publisher: StatusPublisher | None = None,
 ) -> list[Outcome]:
     for unit in units:
         _check_picklable(unit)
@@ -811,6 +853,16 @@ def _run_sharded(
     backend.set_deadline(deadline)
     telemetry.backend = backend.name
     telemetry.capacity = capacity
+    if tracker is not None:
+        tracker.backend = backend.name
+        tracker.capacity = capacity
+    # Status plumbing (observability only): the backend ticks the
+    # publisher from its wait loop so snapshots flow while the drain
+    # below blocks, and backend-side instruments (the cluster's
+    # heartbeat-RTT histogram) land in the campaign's registry.
+    backend.attach_registry(registry)
+    if publisher is not None:
+        backend.set_status_publisher(publisher)
     # Batch sizing: the calibrated per-batch state grain, plus a
     # campaign-wide floor keeping total shard count >= ~2x capacity so
     # small grids still fill every worker (with slack for stragglers).
@@ -875,6 +927,8 @@ def _run_sharded(
     ) -> int:
         ticket = backend.submit_unit(item)
         registry.counter("campaign.shards").inc()
+        if tracker is not None:
+            tracker.shard_submitted()
         obs.event(
             "shard.submit",
             ticket=ticket,
@@ -1035,6 +1089,10 @@ def _run_sharded(
                     states=outcome.stats.states,
                     elapsed=outcome.elapsed,
                 )
+                if tracker is not None:
+                    tracker.shard_done(
+                        outcome.stats.states, outcome.elapsed
+                    )
             if info is None:
                 continue  # cancelled or superseded: a stale result
             state, root_pos, sub_pos, steal_idx = info
@@ -1072,12 +1130,18 @@ def _run_sharded(
                     [slot.outcome() for slot in state.slots]
                 )
                 sink.offer(state.index, state.final)
+        if publisher is not None:
+            # The final snapshot always shows every unit done (and
+            # reaches any attached observers before the backend closes).
+            publisher.tick(backend, force=True)
         return [state.final for state in states]
     finally:
         # Filters are normally freed as their unit finalizes; this sweeps
         # whatever an abort or cancellation left behind.
         for state in states:
             state.release_filter()
+        backend.set_status_publisher(None)
+        backend.attach_registry(None)
         if owned:
             backend.close()
         else:

@@ -195,6 +195,10 @@ def _serve(sock: socket.socket, pool: ProcessPoolExecutor) -> None:
                     specs.setdefault(env.spec_fp, env.spec)
                 envelopes[ticket] = env
                 running[ticket] = pool.submit(execute_envelope, env)
+            elif kind == "ping":
+                # RTT probe: echo the payload verbatim so the
+                # coordinator can subtract its own send instant.
+                send_frame(sock, "pong", payload)
             elif kind == "shutdown":
                 return
 

@@ -28,7 +28,9 @@ import sys
 
 from repro.campaign.cli import (
     add_backend_arguments,
+    add_status_arguments,
     add_trace_argument,
+    append_history,
     backend_from_args,
     close_backend,
     trace_to,
@@ -79,6 +81,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_backend_arguments(parser)
     add_trace_argument(parser)
+    add_status_arguments(parser)
     args = parser.parse_args(argv)
     preset = preset_config(args.units, args.seed)
     # ``--workers 0`` keeps the campaign CLI's meaning: one per CPU.
@@ -110,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
             budget_s=args.budget,
             log=log,
             experiment=preset.name,
+            status_json=args.status_json,
         )
 
     try:
@@ -121,6 +125,31 @@ def main(argv: list[str] | None = None) -> int:
                 report = _run(None)
     finally:
         close_backend(backend)
+    backend_name = backend if isinstance(backend, str) else backend.name
+    append_history(
+        args.history,
+        desc={
+            "cli": "fuzz",
+            "preset": preset.name,
+            "seed": preset.config.seed,
+            "batches": args.batches if args.batches is not None else preset.n_batches,
+            "batch_size": (
+                args.batch_size
+                if args.batch_size is not None
+                else preset.batch_size
+            ),
+            "rounds": args.rounds if args.rounds is not None else preset.max_rounds,
+            "backend": backend_name,
+            "workers": args.workers or 0,
+        },
+        experiment=preset.name,
+        backend=backend_name,
+        capacity=args.workers if args.workers is not None else 1,
+        units=len(report.rounds),
+        verdicts={"leak" if report.found_leak else "no-leak": 1},
+        wall_s=report.elapsed,
+        states=report.programs,
+    )
     print(f"{preset.name}: {report.summary()}")
     if report.leak is not None:
         print("leaking program (as found):")

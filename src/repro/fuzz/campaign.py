@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.obs import clock
+from repro.obs.live import ProgressTracker, StatusPublisher
 from repro.obs.metrics import fill_telemetry, new_registry
 from repro.campaign.backends import (
     ExecutionBackend,
@@ -161,6 +162,8 @@ def run_fuzz(
     budget_s: float | None = None,
     log: CampaignLog | None = None,
     experiment: str = "fuzz",
+    status_json: str | None = None,
+    status_interval: float = 1.0,
 ) -> FuzzReport:
     """Run one fuzz campaign (see the module docstring).
 
@@ -169,6 +172,10 @@ def run_fuzz(
     open for the caller, like verification campaigns).  ``budget_s``
     stamps a shared absolute deadline on every shard; truncated rounds
     report ``timeout`` records (timing-dependent, like every budget).
+    ``status_json`` / ``status_interval`` stream live
+    :class:`repro.obs.live.ProgressSnapshot` records exactly like
+    :func:`repro.campaign.scheduler.run_campaign` -- here one "unit" is
+    one fuzz round -- and are observability-only.
     """
     started = clock.monotonic()
     deadline = None if budget_s is None else started + budget_s
@@ -186,6 +193,17 @@ def run_fuzz(
     )
     _scheduler.LAST_TELEMETRY = telemetry
     registry = new_registry()
+    tracker = ProgressTracker(
+        experiment=experiment,
+        units_total=max_rounds,
+        backend=backend_obj.name,
+        capacity=max(1, backend_obj.capacity()),
+    )
+    publisher = StatusPublisher(
+        tracker, registry=registry, interval=status_interval, path=status_json
+    )
+    backend_obj.attach_registry(registry)
+    backend_obj.set_status_publisher(publisher)
     if log is not None:
         log.header(experiment, max(1, backend_obj.capacity()), max_rounds)
     coverage = CoverageMap()
@@ -219,6 +237,7 @@ def run_fuzz(
                     ticket = backend_obj.submit_unit(WorkItem(fuzz=shard))
                     tickets[ticket] = batch_index
                     shards_counter.inc()
+                    tracker.shard_submitted()
                     obs.event(
                         "shard.submit",
                         ticket=ticket,
@@ -256,6 +275,11 @@ def run_fuzz(
                 registry.time_series("fuzz.programs_per_s").add(
                     clock.monotonic(), merged.programs / round_dt
                 )
+                # Live status: fuzz "states/s" is programs/s.
+                tracker.note_rate(merged.programs / round_dt)
+            for _ in results:
+                tracker.shard_done()
+            tracker.states += merged.programs  # "states" = programs here
             obs.event(
                 "fuzz.round.done",
                 round=round_index,
@@ -269,6 +293,7 @@ def run_fuzz(
                 else None
             )
             rounds.append(merged)
+            tracker.unit_done(round_index, merged.outcome(round_leak).kind)
             if log is not None:
                 log.result(
                     experiment,
@@ -294,6 +319,10 @@ def run_fuzz(
             if log is not None:
                 _log_minimized(log, experiment, leak, minimized)
     finally:
+        # Final snapshot before the backend closes (reaches observers).
+        publisher.tick(backend_obj, force=True)
+        backend_obj.set_status_publisher(None)
+        backend_obj.attach_registry(None)
         fill_telemetry(telemetry, registry)
         if owned:
             backend_obj.close()

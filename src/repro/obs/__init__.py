@@ -26,7 +26,18 @@ through this package:
   Chrome ``trace_event`` JSON loadable in Perfetto.
 - **Report** (:mod:`repro.obs.report`, also ``python -m
   repro.obs.report``): per-worker timeline, span-tree time breakdown,
-  top-N hottest units.
+  top-N hottest units, metric-histogram summaries.
+- **Live status** (:mod:`repro.obs.live`, viewer ``python -m
+  repro.obs.watch``): a running campaign periodically folds scheduler
+  progress, the metrics registry and per-worker health into frozen
+  :class:`~repro.obs.live.ProgressSnapshot` records, surfaced
+  in-process, as an atomically-rewritten ``--status-json`` file, and
+  as ``status`` frames streamed to read-only socket observers.
+- **Run history** (:mod:`repro.obs.history`, also ``python -m
+  repro.obs.history``): an append-only JSONL ledger of finished runs
+  (config fingerprint, verdicts, wall time, throughput) with
+  ``diff``/``regressions`` gating built on
+  :mod:`repro.bench.perf_gate`'s tolerance machinery.
 
 The tracing layer never touches verdict or merge paths: the bit-identity
 contract extends to "tracing on vs off is bit-identical", and the test
@@ -35,7 +46,7 @@ suite enforces it across all three backends.
 
 from __future__ import annotations
 
-from repro.obs import clock, metrics
+from repro.obs import clock, live, metrics
 from repro.obs.recorder import (
     EventRecord,
     Recorder,
@@ -62,6 +73,7 @@ __all__ = [
     "enabled",
     "event",
     "install",
+    "live",
     "metrics",
     "recorder",
     "span",

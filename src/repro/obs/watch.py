@@ -1,0 +1,347 @@
+"""Live campaign status viewer: ``python -m repro.obs.watch``.
+
+Renders the stream of :class:`repro.obs.live.ProgressSnapshot` records a
+running campaign publishes, from either source:
+
+- ``--connect HOST:PORT`` attaches to a ``SocketClusterBackend``
+  coordinator as a read-only *observer* (token-authed, never assigned
+  work; the token comes from ``--token`` or ``$REPRO_WORKER_TOKEN``)
+  and renders each ``status`` frame as it arrives;
+- ``--status-json PATH`` polls the file a campaign's ``--status-json``
+  flag atomically rewrites, re-rendering whenever the sequence number
+  moves -- works for serial and process backends too, and across hosts
+  via any shared filesystem.
+
+On a TTY the view refreshes in place; ``--plain`` (or any non-TTY
+stdout, e.g. CI logs) prints one text block per snapshot instead.
+``--record PATH`` appends every snapshot as a JSON line -- the CI watch
+smoke uses it to assert the observer saw the campaign finish -- and
+``--min-snapshots N`` turns "did the stream actually flow" into an exit
+code.  The observer is strictly read-only: everything it receives is
+JSON (it never unpickles a byte), and detaching it -- cleanly or by
+SIGKILL -- cannot affect campaign results.
+
+Exit status: 0 after a clean end of stream (coordinator shutdown, the
+campaign's final all-units-done snapshot in file mode, or ``--once``),
+1 when fewer than ``--min-snapshots`` arrived or the coordinator
+refused the connection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import select
+import socket
+import sys
+import time
+
+from repro.obs import clock
+from repro.obs.live import ProgressSnapshot, snapshot_from_json, snapshot_to_json
+from repro.campaign.backends.wire import (
+    TOKEN_ENV,
+    WireError,
+    extract_frames,
+    parse_hostport,
+    recv_frame,
+    send_frame,
+)
+
+#: Observer-side heartbeat cadence (the coordinator reaps connections
+#: silent for ~6 of these, same as workers).
+HEARTBEAT_INTERVAL = 5.0
+
+
+def _fmt_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def _fmt_rate(rate: float) -> str:
+    if rate >= 1000:
+        return f"{rate / 1000:.1f}k/s"
+    return f"{rate:.0f}/s"
+
+
+def render(snapshot: ProgressSnapshot) -> str:
+    """One snapshot as a CI-safe plain-text block."""
+    done = snapshot.units_done
+    total = snapshot.units_total
+    bar_width = 30
+    filled = int(bar_width * done / total) if total else 0
+    bar = "#" * filled + "-" * (bar_width - filled)
+    lines = [
+        (
+            f"{snapshot.experiment} [{snapshot.backend or '?'}"
+            f" x{snapshot.capacity}]  seq {snapshot.seq}"
+            f"  uptime {_fmt_duration(snapshot.uptime_s)}"
+        ),
+        (
+            f"units  [{bar}] {done}/{total}"
+            f"  eta {_fmt_duration(snapshot.eta_s)}"
+        ),
+        (
+            f"shards {snapshot.shards_done}/{snapshot.shards_submitted} done"
+            f", {snapshot.inflight} in flight"
+            f"  |  states {snapshot.states}"
+            f" @ {_fmt_rate(snapshot.states_per_s)}"
+        ),
+    ]
+    if snapshot.verdicts:
+        verdicts = "  ".join(f"{k}={v}" for k, v in snapshot.verdicts)
+        lines.append(f"verdicts  {verdicts}")
+    if snapshot.workers:
+        lines.append(f"workers ({len(snapshot.workers)}):")
+        for worker in snapshot.workers:
+            rtt = "-" if worker.rtt_s is None else f"{worker.rtt_s * 1e3:.1f}ms"
+            rate = (
+                "-"
+                if worker.last_states_per_s is None
+                else _fmt_rate(worker.last_states_per_s)
+            )
+            lines.append(
+                f"  {worker.label:<24} slots {worker.slots}"
+                f"  inflight {worker.inflight}"
+                f"  hb {worker.heartbeat_age_s:.1f}s"
+                f"  rtt {rtt}  specs {worker.spec_cache}  last {rate}"
+            )
+    if snapshot.done:
+        lines.append("campaign complete")
+    return "\n".join(lines)
+
+
+class _View:
+    """Render sink: in-place TTY refresh or one block per snapshot."""
+
+    def __init__(self, *, plain: bool, record_path: str | None):
+        self.plain = plain or not sys.stdout.isatty()
+        self.seen = 0
+        self.last: ProgressSnapshot | None = None
+        self._record = (
+            open(record_path, "a", encoding="utf-8") if record_path else None
+        )
+
+    def show(self, snapshot: ProgressSnapshot) -> None:
+        self.seen += 1
+        self.last = snapshot
+        if self._record is not None:
+            json.dump(snapshot_to_json(snapshot), self._record, sort_keys=True)
+            self._record.write("\n")
+            self._record.flush()
+        text = render(snapshot)
+        if self.plain:
+            print(text)
+            print("--")
+        else:
+            # Clear + home keeps the block refreshing in place.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+        sys.stdout.flush()
+
+    def close(self) -> None:
+        if self._record is not None:
+            self._record.close()
+
+
+def _watch_socket(
+    addr: tuple[str, int],
+    token: str,
+    view: _View,
+    *,
+    once: bool,
+    timeout: float | None,
+) -> int:
+    """Attach as an observer and render status frames until shutdown."""
+    try:
+        sock = socket.create_connection(addr, timeout=5.0)
+    except OSError as exc:
+        print(f"watch: cannot reach {addr[0]}:{addr[1]}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        sock.settimeout(10.0)
+        send_frame(
+            sock,
+            "hello",
+            {
+                "token": token,
+                "role": "observer",
+                "label": f"watch:{os.getpid()}",
+            },
+        )
+        try:
+            # Everything an observer sees is JSON -- never allow pickle,
+            # so a hostile coordinator cannot execute code here.
+            kind, _ = recv_frame(sock, allow_pickle=False)
+        except (WireError, socket.timeout):
+            print(
+                "watch: coordinator closed the connection during the "
+                "handshake (wrong token?)",
+                file=sys.stderr,
+            )
+            return 1
+        if kind != "welcome":
+            print(f"watch: unexpected handshake reply {kind!r}", file=sys.stderr)
+            return 1
+        sock.setblocking(False)
+        buffer = bytearray()
+        deadline = None if timeout is None else clock.monotonic() + timeout
+        last_beat = clock.monotonic()
+        while True:
+            now = clock.monotonic()
+            if deadline is not None and now >= deadline:
+                break
+            if now - last_beat >= HEARTBEAT_INTERVAL:
+                try:
+                    send_frame(sock, "heartbeat", {})
+                except WireError:
+                    break  # coordinator gone
+                last_beat = now
+            readable, _, _ = select.select([sock], [], [], 0.2)
+            if not readable:
+                continue
+            try:
+                chunk = sock.recv(1 << 16)
+            except BlockingIOError:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                break  # orderly EOF: campaign over
+            buffer += chunk
+            try:
+                frames = extract_frames(buffer, allow_pickle=False)
+            except WireError:
+                break
+            stop = False
+            for kind, payload in frames:
+                if kind == "status":
+                    view.show(snapshot_from_json(payload))
+                    if once:
+                        stop = True
+                        break
+                elif kind == "shutdown":
+                    stop = True
+                    break
+            if stop:
+                break
+    finally:
+        sock.close()
+    return 0
+
+
+def _watch_file(
+    path: str, view: _View, *, once: bool, interval: float, timeout: float | None
+) -> int:
+    """Poll a ``--status-json`` file, rendering each new sequence number."""
+    deadline = None if timeout is None else clock.monotonic() + timeout
+    last_seq = None
+    while True:
+        if deadline is not None and clock.monotonic() >= deadline:
+            break
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = None  # not written yet / mid-rename on exotic fs
+        if isinstance(data, dict):
+            try:
+                snapshot = snapshot_from_json(data)
+            except (TypeError, ValueError):
+                snapshot = None
+            if snapshot is not None and snapshot.seq != last_seq:
+                last_seq = snapshot.seq
+                view.show(snapshot)
+                if once or snapshot.done:
+                    break
+        time.sleep(interval)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.watch",
+        description=__doc__.splitlines()[0],
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="attach to a socket coordinator as a read-only observer",
+    )
+    source.add_argument(
+        "--status-json", metavar="PATH",
+        help="poll a campaign's --status-json file instead of a socket",
+    )
+    parser.add_argument(
+        "--token", default=None,
+        help=f"observer auth token (default: ${TOKEN_ENV})",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="file-poll interval in seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds (default: wait forever)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render the first snapshot and exit",
+    )
+    parser.add_argument(
+        "--plain", action="store_true",
+        help="one text block per snapshot (no TTY refresh; CI-safe)",
+    )
+    parser.add_argument(
+        "--record", metavar="PATH", default=None,
+        help="append every snapshot seen as a JSON line to PATH",
+    )
+    parser.add_argument(
+        "--min-snapshots", type=int, default=0, metavar="N",
+        help="exit 1 unless at least N snapshots were seen",
+    )
+    args = parser.parse_args(argv)
+
+    view = _View(plain=args.plain, record_path=args.record)
+    try:
+        if args.connect:
+            token = args.token or os.environ.get(TOKEN_ENV)
+            if not token:
+                parser.error(f"no auth token: pass --token or set ${TOKEN_ENV}")
+            status = _watch_socket(
+                parse_hostport(args.connect),
+                token,
+                view,
+                once=args.once,
+                timeout=args.timeout,
+            )
+        else:
+            status = _watch_file(
+                args.status_json,
+                view,
+                once=args.once,
+                interval=max(0.05, args.interval),
+                timeout=args.timeout,
+            )
+    finally:
+        view.close()
+    if status != 0:
+        return status
+    if view.seen < args.min_snapshots:
+        print(
+            f"watch: saw {view.seen} snapshot(s), "
+            f"required {args.min_snapshots}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

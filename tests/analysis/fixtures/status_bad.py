@@ -1,0 +1,32 @@
+"""Golden status-frame violations: one per rule, reachable from the
+``status`` wire roots (ProgressSnapshot / WorkerHealth)."""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def _make_health_class():
+    class LocalHealth:  # function-local, yet carried inside a snapshot
+        def __init__(self, label):
+            self.label = label
+
+    return LocalHealth
+
+
+class BareGauge:  # module-level but no declared instance layout
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class WorkerHealth:
+    health: "LocalHealth"
+    gauge: "BareGauge"
+    probe: Callable[[], float]
+    retries: int = field(default_factory=lambda: 0)
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    seq: int
+    workers: "tuple[WorkerHealth, ...]" = ()

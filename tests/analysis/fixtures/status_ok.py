@@ -1,0 +1,24 @@
+"""Near-miss negatives: the same status-frame shapes, kept safe or off
+the wire graph entirely."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class WorkerHealth:
+    label: str
+    slots: int
+    rtt_s: float
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    seq: int
+    workers: "tuple[WorkerHealth, ...]" = field(default_factory=tuple)
+
+
+def _make_render_helper():
+    class NeverShipped:  # local AND unslotted, but unreachable from wire roots
+        fmt = staticmethod(lambda snapshot: str(snapshot))
+
+    return NeverShipped

@@ -17,8 +17,20 @@ from repro.analysis import analyze, built_in_checkers
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-BAD_FIXTURES = ["det_bad.py", "wire_bad.py", "snap_bad.py", "packed_bad.py"]
-OK_FIXTURES = ["det_ok.py", "wire_ok.py", "snap_ok.py", "packed_ok.py"]
+BAD_FIXTURES = [
+    "det_bad.py",
+    "wire_bad.py",
+    "status_bad.py",
+    "snap_bad.py",
+    "packed_bad.py",
+]
+OK_FIXTURES = [
+    "det_ok.py",
+    "wire_ok.py",
+    "status_ok.py",
+    "snap_ok.py",
+    "packed_ok.py",
+]
 
 
 def run(name: str, checker_id: str | None = None):
@@ -73,6 +85,33 @@ class TestWireSafety:
         # wire_ok.py keeps a local, unslotted, lambda-carrying class --
         # but off the wire graph, where none of that matters.
         assert run("wire_ok.py", "wire-safety").findings == []
+
+
+class TestStatusFrames:
+    """The live-status roots (ProgressSnapshot / WorkerHealth) are part
+    of the wire graph: the same four rules fire on status payloads."""
+
+    def test_positive_rules(self):
+        report = run("status_bad.py", "wire-safety")
+        assert rule_counts(report) == Counter(
+            {
+                ("wire-safety", "local-class"): 1,
+                ("wire-safety", "unslotted"): 2,  # LocalHealth + BareGauge
+                ("wire-safety", "lambda-field"): 1,
+                ("wire-safety", "callable-field"): 1,
+            }
+        )
+
+    def test_near_miss_negative(self):
+        # Frozen slotted snapshots pass; the local lambda-carrying
+        # helper stays invisible because nothing on the wire names it.
+        assert run("status_ok.py", "wire-safety").findings == []
+
+    def test_real_snapshot_classes_are_roots(self):
+        from repro.analysis.checkers.wire_safety import WIRE_ROOTS
+
+        assert "ProgressSnapshot" in WIRE_ROOTS
+        assert "WorkerHealth" in WIRE_ROOTS
 
 
 class TestSnapshotPurity:

@@ -1,0 +1,273 @@
+"""Observer lifecycle: read-only status peers never perturb campaigns.
+
+The coordinator accepts token-authed ``role: "observer"`` connections
+that receive ``status`` frames and are never assigned work.  The
+bit-identity contract extends to them: attach, detach, vanish without a
+goodbye -- the merged campaign outcome must equal the no-observer serial
+baseline bit for bit, because an observer holds no shards and owes no
+results.  These tests drive real observer connections against a live
+coordinator with two local worker agents.
+"""
+
+from __future__ import annotations
+
+import socket as socketlib
+import threading
+import time
+
+import pytest
+
+from repro.bench import fig2
+from repro.bench.configs import QUICK
+from repro.campaign.backends import SocketClusterBackend
+from repro.campaign.backends import cluster as cluster_mod
+from repro.campaign.backends.wire import WireError, extract_frames, send_frame
+from repro.campaign.scheduler import CampaignUnit, run_campaign
+from repro.obs.live import snapshot_from_json
+
+
+def _unit() -> CampaignUnit:
+    """One seconds-scale unit (long enough to attach an observer into)."""
+    return CampaignUnit(
+        "obs", ("rob4",), fig2.point_task(fig2.PANELS[0], "rob", 4, QUICK)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """The no-observer serial reference run, shared by the module."""
+    return run_campaign([_unit()], n_workers=1)
+
+
+@pytest.fixture(scope="module")
+def backend():
+    """One coordinator + two local worker agents, shared by the module."""
+    backend = SocketClusterBackend()
+    try:
+        backend.spawn_local_workers(2)
+        backend.wait_for_workers(2, timeout=60)
+        yield backend
+    finally:
+        backend.close()
+
+
+class _Observer:
+    """A real observer connection fed by a background reader thread."""
+
+    def __init__(self, address, token, *, label="obs-test"):
+        self.sock = socketlib.create_connection(address, timeout=10)
+        self.kinds: list[str] = []
+        self.snapshots = []
+        self.closed = threading.Event()
+        send_frame(
+            self.sock,
+            "hello",
+            {"token": token, "role": "observer", "label": label},
+        )
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+        self._thread.start()
+
+    def _pump(self):
+        buffer = bytearray()
+        try:
+            self.sock.settimeout(30.0)
+            while True:
+                chunk = self.sock.recv(1 << 16)
+                if not chunk:
+                    break
+                buffer += chunk
+                # Everything an observer sees must decode as JSON.
+                for kind, payload in extract_frames(buffer, allow_pickle=False):
+                    self.kinds.append(kind)
+                    if kind == "status":
+                        self.snapshots.append(snapshot_from_json(payload))
+        except (OSError, WireError):
+            pass
+        finally:
+            self.closed.set()
+
+    def kill(self):
+        """Vanish without a goodbye (the SIGKILL-shaped detach)."""
+        self.sock.close()
+
+    def join(self, timeout=30.0):
+        self._thread.join(timeout)
+
+
+def _assert_identical(serial, observed, label):
+    assert [r.key for r in observed] == [r.key for r in serial]
+    for ser, par in zip(serial, observed):
+        assert par.outcome.kind == ser.outcome.kind, label
+        assert par.outcome.stats == ser.outcome.stats, label
+        assert par.outcome.counterexample == ser.outcome.counterexample, label
+
+
+def test_observer_attached_campaign_is_bit_identical(backend, serial_baseline):
+    """An observer attached mid-campaign streams snapshots, is never
+    dispatched to, and the merged result equals the serial baseline."""
+    units = [_unit()]
+    holder: dict = {}
+    attach = threading.Timer(
+        0.3, lambda: holder.update(obs=_Observer(backend.address, backend.token))
+    )
+    attach.start()
+    try:
+        results = run_campaign(
+            units,
+            backend=backend,
+            subroot="always",
+            experiment="obs",
+            status_interval=0.05,
+        )
+    finally:
+        attach.cancel()
+    _assert_identical(serial_baseline, results, "observer-attached")
+    observer = holder.get("obs")
+    assert observer is not None, "observer never attached"
+    # The campaign outlives the attach timer, so frames must have flowed.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and not observer.snapshots:
+        backend._poll(0.05)  # let the welcome/status handshake finish
+    assert observer.snapshots, "observer never received a status frame"
+    # Read-only by contract: welcome + status only (never task frames;
+    # a task would arrive as a pickle frame and fail JSON extraction).
+    assert set(observer.kinds) <= {"welcome", "status", "shutdown"}
+    final = observer.snapshots[-1]
+    assert final.experiment == "obs"
+    assert final.units_total == 1
+    observer.kill()
+    observer.join()
+
+
+def test_observer_killed_mid_campaign_is_bit_identical(
+    backend, serial_baseline
+):
+    """An observer that vanishes without a goodbye (socket torn down,
+    as after SIGKILL) costs nothing: no worker failure, same bits."""
+    units = [_unit()]
+    failures_before = backend.worker_failures
+    holder: dict = {}
+
+    def attach_then_kill():
+        observer = _Observer(backend.address, backend.token, label="doomed")
+        holder["obs"] = observer
+        time.sleep(0.3)
+        observer.kill()
+
+    killer = threading.Timer(0.2, attach_then_kill)
+    killer.start()
+    try:
+        results = run_campaign(
+            units,
+            backend=backend,
+            subroot="always",
+            status_interval=0.05,
+        )
+    finally:
+        killer.cancel()
+    _assert_identical(serial_baseline, results, "observer-killed")
+    assert holder["obs"].closed.wait(10.0)
+    # The vanished observer is not a worker failure and requeues nothing.
+    assert backend.worker_failures == failures_before
+    # Both real workers are still attached and healthy.
+    assert backend.capacity() == 2
+
+
+def test_observer_with_bad_token_is_rejected():
+    """A wrong-token observer is dropped unauthenticated: no capacity
+    change, no status frames, and the socket sees EOF."""
+    backend = SocketClusterBackend()
+    try:
+        sock = socketlib.create_connection(backend.address, timeout=5)
+        send_frame(
+            sock, "hello", {"token": "wrong", "role": "observer"}
+        )
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and backend._workers:
+            backend._poll(0.05)
+        assert backend.capacity() == 0
+        assert not backend._workers  # dropped, not parked
+        sock.settimeout(2)
+        with pytest.raises(Exception):  # EOF -> WireError / timeout
+            from repro.campaign.backends.wire import recv_frame
+
+            recv_frame(sock, allow_pickle=False)
+        sock.close()
+    finally:
+        backend.close()
+
+
+def test_observer_contributes_no_capacity(backend):
+    """Attaching an observer leaves capacity at the two worker slots."""
+    before = backend.capacity()
+    observer = _Observer(backend.address, backend.token, label="cap-probe")
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline and "welcome" not in observer.kinds:
+        backend._poll(0.05)
+    assert "welcome" in observer.kinds, "observer never authenticated"
+    assert backend.capacity() == before
+    # worker_health reports only real workers, never the observer.
+    healths = backend.worker_health()
+    assert len(healths) == before
+    assert all("cap-probe" not in h.label for h in healths)
+    observer.kill()
+    observer.join()
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline and any(
+        w.is_observer for w in backend._workers
+    ):
+        backend._poll(0.05)
+    assert not any(w.is_observer for w in backend._workers)
+
+
+def test_ping_pong_populates_rtt_histogram(backend, monkeypatch):
+    """RTT probes round-trip through real agents into the histogram,
+    the per-worker health records, and an attached registry's mirror."""
+    from repro.obs.metrics import MetricsRegistry
+
+    monkeypatch.setattr(cluster_mod, "PING_INTERVAL", 0.05)
+    registry = MetricsRegistry()
+    backend.attach_registry(registry)
+    try:
+        count_before = backend.heartbeat_rtt.count
+        deadline = time.monotonic() + 10
+        while (
+            time.monotonic() < deadline
+            and backend.heartbeat_rtt.count < count_before + 2
+        ):
+            backend._poll(0.05)
+        assert backend.heartbeat_rtt.count >= count_before + 2
+        assert backend.heartbeat_rtt.total >= 0.0
+        mirrored = registry.histogram("cluster.heartbeat_rtt_s")
+        assert mirrored.count >= 1
+        healths = backend.worker_health()
+        assert healths and any(h.rtt_s is not None for h in healths)
+        assert all(h.rtt_s is None or h.rtt_s >= 0.0 for h in healths)
+    finally:
+        backend.attach_registry(None)
+
+
+def test_status_frames_fold_worker_health(backend, serial_baseline):
+    """Snapshots broadcast during a socket campaign carry per-worker
+    health rows for both agents (label, slots, heartbeat age)."""
+    observer = _Observer(backend.address, backend.token, label="health-probe")
+    deadline = time.monotonic() + 5
+    while time.monotonic() < deadline and "welcome" not in observer.kinds:
+        backend._poll(0.05)
+    results = run_campaign(
+        [_unit()], backend=backend, subroot="always", status_interval=0.05
+    )
+    assert results[0].outcome.kind == serial_baseline[0].outcome.kind
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline and not observer.snapshots:
+        backend._poll(0.05)
+    assert observer.snapshots
+    with_workers = [s for s in observer.snapshots if s.workers]
+    assert with_workers, "no snapshot carried worker health"
+    snap = with_workers[-1]
+    assert len(snap.workers) == 2
+    for health in snap.workers:
+        assert health.slots == 1
+        assert health.heartbeat_age_s >= 0.0
+    observer.kill()
+    observer.join()

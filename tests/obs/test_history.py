@@ -1,0 +1,205 @@
+"""Unit tests for :mod:`repro.obs.history` (ledger, gates, CLI).
+
+The run ledger borrows :mod:`repro.bench.perf_gate`'s arithmetic, so
+these tests pin the same things perf_gate's do -- tolerance direction,
+noise floor, rolling window -- plus the history-specific contracts:
+fingerprint stability (only like runs compare), exact verdict-drift
+detection (the bit-identity promise has no tolerance), torn-tail-line
+resilience, and the CLI's 0/1/2 exit statuses.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import history
+from repro.obs.history import (
+    append_run,
+    config_fingerprint,
+    gate_latest,
+    make_run_record,
+    read_runs,
+)
+
+
+def run_record(
+    *,
+    desc=None,
+    wall_s=10.0,
+    states=50000,
+    verdicts=None,
+    experiment="mini",
+) -> dict:
+    return make_run_record(
+        desc=desc if desc is not None else {"cli": "campaign", "units": "mini"},
+        experiment=experiment,
+        backend="serial",
+        capacity=1,
+        units=2,
+        verdicts=verdicts if verdicts is not None else {"proved": 2},
+        wall_s=wall_s,
+        states=states,
+        wall_unix_s=1.7e9,
+    )
+
+
+class TestFingerprint:
+    def test_stable_and_order_insensitive(self):
+        a = config_fingerprint({"units": "mini", "workers": 4})
+        b = config_fingerprint({"workers": 4, "units": "mini"})
+        assert a == b
+        assert len(a) == 16  # blake2b digest_size=8, hex
+
+    def test_distinguishes_configs(self):
+        a = config_fingerprint({"units": "mini", "workers": 4})
+        b = config_fingerprint({"units": "mini", "workers": 2})
+        assert a != b
+
+
+class TestLedgerIo:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "ledger.jsonl"  # parents auto-created
+        append_run(str(path), run_record())
+        append_run(str(path), run_record(wall_s=11.0))
+        runs = read_runs(str(path))
+        assert len(runs) == 2
+        assert runs[0]["type"] == "run"
+        assert runs[1]["wall_s"] == 11.0
+
+    def test_torn_tail_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_run(str(path), run_record())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "other"}) + "\n")
+            handle.write('{"type": "run", "truncat')  # torn tail line
+        assert len(read_runs(str(path))) == 1
+
+    def test_missing_ledger_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_runs(str(tmp_path / "absent.jsonl"))
+
+    def test_states_per_s_derived(self):
+        record = run_record(wall_s=10.0, states=50000)
+        assert record["states_per_s"] == pytest.approx(5000.0)
+        assert run_record(wall_s=0.0)["states_per_s"] == 0.0
+
+
+class TestGateLatest:
+    def test_identical_runs_pass(self):
+        runs = [run_record(), run_record()]
+        failures, notes = gate_latest(runs, 0.2, 5)
+        assert failures == []
+
+    def test_no_baseline_is_a_note_not_a_failure(self):
+        failures, notes = gate_latest([run_record()], 0.2, 5)
+        assert failures == []
+        assert any("no previous run" in note for note in notes)
+
+    def test_different_fingerprint_never_compares(self):
+        slow = run_record(desc={"units": "other"}, wall_s=1000.0, states=10)
+        fast = run_record(wall_s=10.0)
+        failures, notes = gate_latest([fast, slow], 0.2, 5)
+        assert failures == []  # "slow" has no same-config baseline
+
+    def test_throughput_regression_fails(self):
+        runs = [run_record(states=50000), run_record(states=10000)]
+        failures, _ = gate_latest(runs, 0.2, 5)
+        assert any("states/s" in failure for failure in failures)
+
+    def test_wall_time_regression_fails(self):
+        runs = [run_record(wall_s=10.0), run_record(wall_s=100.0, states=500000)]
+        failures, _ = gate_latest(runs, 0.2, 5)
+        assert any("wall s" in failure for failure in failures)
+
+    def test_wall_noise_floor_skips(self):
+        # Sub-2s walls are timer noise: a 10x "regression" there must
+        # not fail (same idea as perf_gate's benchmark floors).
+        runs = [
+            run_record(wall_s=0.05, states=500),
+            run_record(wall_s=0.5, states=5000),
+        ]
+        failures, notes = gate_latest(runs, 0.2, 5)
+        assert not any("wall s" in failure for failure in failures)
+        assert any("below" in note and "floor" in note for note in notes)
+
+    def test_within_tolerance_passes(self):
+        runs = [run_record(states=50000), run_record(states=45000)]
+        failures, _ = gate_latest(runs, 0.2, 5)
+        assert failures == []
+
+    def test_rolling_window_bounds_baseline(self):
+        # Nine historically slow runs fall outside window=3; only the
+        # recent fast ones set the bar the regression is judged against.
+        runs = (
+            [run_record(states=5000) for _ in range(9)]
+            + [run_record(states=50000) for _ in range(3)]
+            + [run_record(states=20000)]
+        )
+        failures, _ = gate_latest(runs, 0.2, 3)
+        assert any("states/s" in failure for failure in failures)
+        # With a window wide enough to reach the slow era, the mean
+        # drops and the same run passes.
+        failures, _ = gate_latest(runs, 0.2, 12)
+        assert failures == []
+
+    def test_verdict_drift_is_exact_no_tolerance(self):
+        runs = [
+            run_record(verdicts={"proved": 2}),
+            run_record(verdicts={"proved": 1, "attack": 1}),
+        ]
+        failures, _ = gate_latest(runs, 0.99, 5)  # huge tolerance: irrelevant
+        assert any("verdict" in failure for failure in failures)
+
+
+class TestCli:
+    def ledger(self, tmp_path, records):
+        path = tmp_path / "ledger.jsonl"
+        for record in records:
+            append_run(str(path), record)
+        return str(path)
+
+    def test_regressions_pass_exit_zero(self, tmp_path, capsys):
+        path = self.ledger(tmp_path, [run_record(), run_record()])
+        assert history.main(["regressions", "--ledger", path]) == 0
+        assert "pass" in capsys.readouterr().out
+
+    def test_regressions_fail_exit_one(self, tmp_path, capsys):
+        path = self.ledger(
+            tmp_path, [run_record(states=50000), run_record(states=5000)]
+        )
+        assert history.main(["regressions", "--ledger", path]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_or_empty_ledger_exit_two(self, tmp_path):
+        absent = str(tmp_path / "absent.jsonl")
+        assert history.main(["regressions", "--ledger", absent]) == 2
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert history.main(["list", "--ledger", str(empty)]) == 2
+
+    def test_list_and_diff_render(self, tmp_path, capsys):
+        path = self.ledger(
+            tmp_path, [run_record(wall_s=10.0), run_record(wall_s=12.0)]
+        )
+        assert history.main(["list", "--ledger", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert history.main(["diff", "--ledger", path]) == 0
+        out = capsys.readouterr().out
+        assert "latest:" in out and "previous:" in out
+        assert "wall s: 10 -> 12" in out
+
+    def test_tolerance_validation(self, tmp_path):
+        path = self.ledger(tmp_path, [run_record()])
+        with pytest.raises(SystemExit):
+            history.main(["regressions", "--ledger", path, "--tolerance", "1.5"])
+
+    def test_tolerance_env_fallback(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.perf_gate import TOLERANCE_ENV
+
+        monkeypatch.setenv(TOLERANCE_ENV, "0.9")
+        path = self.ledger(
+            tmp_path, [run_record(states=50000), run_record(states=10000)]
+        )
+        # 5x slower but within the env's 90% tolerance.
+        assert history.main(["regressions", "--ledger", path]) == 0
